@@ -1,0 +1,276 @@
+package htd
+
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation (§5 and Appendix D) at bench scale. Each benchmark runs one
+// full (scaled-down) experiment per iteration and logs the resulting
+// table on the first iteration; `cmd/benchtab` runs the same experiments
+// at larger scale and timeout.
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// Expected shapes (absolute numbers depend on the machine; see
+// EXPERIMENTS.md for one recorded run):
+//
+//	Table 1:  Hyb# >= LEO# >= DetK# in the Total row
+//	Figure 1: log-k average runtime decreases with cores
+//	Table 2:  WeightedCount rows solve at least as many as EdgeCount rows
+//	Table 3:  Hyb matches VirtualBest at widths <= 3
+//	Table 4:  Hyb decides the most bounds at every width
+//	Table 5:  non-negative solved deltas under 10x timeout
+//	Figure 3: unsolved instances concentrate in the largest buckets
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/hyperbench"
+	"repro/internal/logk"
+)
+
+// benchSuite returns the instance suite used by the experiment benches:
+// the deterministic Scale-1 HyperBench-sim suite.
+func benchSuite() []hyperbench.Instance {
+	return hyperbench.Suite(hyperbench.Config{Scale: 1, Seed: 2022})
+}
+
+// benchConfig bundles the scaled-down experiment parameters.
+func benchConfig() harness.Config {
+	return harness.Config{
+		Suite:   benchSuite(),
+		Timeout: 400 * time.Millisecond,
+		KMax:    5,
+		Workers: runtime.GOMAXPROCS(0),
+	}
+}
+
+func checkResults(b *testing.B, results []harness.Result) {
+	b.Helper()
+	for _, r := range results {
+		if r.Err != nil {
+			b.Fatalf("%s on %s: %v", r.Method, r.Instance.Name, r.Err)
+		}
+	}
+}
+
+// BenchmarkTable1SolvedInstances reproduces Table 1: solved counts and
+// runtime statistics per origin × size group for NewDetKDecomp, the
+// HtdLEO stand-in and the log-k-decomp hybrid.
+func BenchmarkTable1SolvedInstances(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tab, results := harness.Table1(context.Background(), cfg)
+		if i == 0 {
+			checkResults(b, results)
+			b.Logf("\n%s", tab.Render())
+		}
+	}
+}
+
+// BenchmarkFigure1ParallelScaling reproduces Figure 1: average runtime
+// on the HBlarge analogue as a function of worker count.
+func BenchmarkFigure1ParallelScaling(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Timeout = 1500 * time.Millisecond // search-bound instances need headroom
+	cores := []int{1, 2, 4, 6}
+	if runtime.GOMAXPROCS(0) < 6 {
+		cores = []int{1, 2}
+	}
+	for i := 0; i < b.N; i++ {
+		tab, _ := harness.Figure1(context.Background(), cfg, cores)
+		if i == 0 {
+			b.Logf("\n%s", tab.Render())
+		}
+	}
+}
+
+// BenchmarkTable2HybridMetrics reproduces the hybridisation study of
+// Appendix D.2 (Table 2): WeightedCount vs EdgeCount thresholds.
+func BenchmarkTable2HybridMetrics(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Timeout = 300 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		tab, results := harness.Table2(context.Background(), cfg)
+		if i == 0 {
+			checkResults(b, results)
+			b.Logf("\n%s", tab.Render())
+		}
+	}
+}
+
+// BenchmarkTable3SolvedByWidth reproduces Table 3: optimally solved
+// instance counts per width, with the Virtual Best aggregate.
+func BenchmarkTable3SolvedByWidth(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tab, results := harness.Table3(context.Background(), cfg)
+		if i == 0 {
+			checkResults(b, results)
+			b.Logf("\n%s", tab.Render())
+		}
+	}
+}
+
+// BenchmarkTable4UpperBounds reproduces Table 4: how many instances each
+// method can decide "hw ≤ w" for, per width.
+func BenchmarkTable4UpperBounds(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		_, results := harness.Table3(context.Background(), cfg)
+		tab := harness.Table4(results, len(cfg.Suite), 6)
+		if i == 0 {
+			checkResults(b, results)
+			b.Logf("\n%s", tab.Render())
+		}
+	}
+}
+
+// BenchmarkTable5ExtendedTimeout reproduces Table 5 (Appendix D.3): the
+// HtdLEO stand-in with a 10× budget.
+func BenchmarkTable5ExtendedTimeout(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Timeout = 100 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		tab, results := harness.Table5(context.Background(), cfg)
+		if i == 0 {
+			checkResults(b, results)
+			b.Logf("\n%s", tab.Render())
+		}
+	}
+}
+
+// BenchmarkFigure3SolvedScatter reproduces the solved/unsolved scatter
+// of Appendix D.4 (Figure 3), as per-method CSV data plus a bucket table.
+func BenchmarkFigure3SolvedScatter(b *testing.B) {
+	cfg := benchConfig()
+	methods := []harness.Method{
+		harness.MethodDetK(),
+		harness.MethodOpt(),
+		harness.MethodLogKHybrid(cfg.Workers, logk.HybridWeightedCount, 40),
+	}
+	for i := 0; i < b.N; i++ {
+		r := harness.Runner{Timeout: cfg.Timeout, KMax: cfg.KMax}
+		results := r.RunAll(context.Background(), methods, cfg.Suite, nil)
+		csv, tab := harness.Figure3(results)
+		if i == 0 {
+			checkResults(b, results)
+			b.Logf("\n%s", tab.Render())
+			b.Logf("scatter CSV: %d bytes (see cmd/benchtab -experiment figure3 for the full data)", len(csv))
+		}
+	}
+}
+
+// BenchmarkAblationOptimisations measures the Appendix C optimisations
+// by disabling them one at a time (DESIGN.md ablation index).
+func BenchmarkAblationOptimisations(b *testing.B) {
+	cfg := benchConfig()
+	// Medium instances with known widths only.
+	var medium []hyperbench.Instance
+	for _, in := range cfg.Suite {
+		if in.KnownHW > 0 && in.Edges() > 10 && in.Edges() <= 60 {
+			medium = append(medium, in)
+		}
+	}
+	cfg.Suite = medium
+	cfg.Timeout = 300 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		tab := harness.AblationExperiment(context.Background(), cfg)
+		if i == 0 {
+			b.Logf("\n%s", tab.Render())
+		}
+	}
+}
+
+// BenchmarkRecursionDepth verifies Theorem 4.1 at growing sizes:
+// recursion depth stays within ⌈log2 |E|⌉ + 2.
+func BenchmarkRecursionDepth(b *testing.B) {
+	sizes := []int{16, 32, 64, 128, 256}
+	for i := 0; i < b.N; i++ {
+		tab := harness.DepthExperiment(context.Background(), sizes)
+		if i == 0 {
+			b.Logf("\n%s", tab.Render())
+		}
+	}
+}
+
+// BenchmarkGHDComparison reproduces the §5.2 GHD comparison: the
+// BalancedGo-style solver against the log-k-decomp hybrid.
+func BenchmarkGHDComparison(b *testing.B) {
+	cfg := benchConfig()
+	// GHD search is exponential in the pool; keep to small instances.
+	var small []hyperbench.Instance
+	for _, in := range cfg.Suite {
+		if in.Edges() <= 30 {
+			small = append(small, in)
+		}
+	}
+	cfg.Suite = small
+	for i := 0; i < b.N; i++ {
+		tab, err := harness.GHDComparison(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tab.Render())
+		}
+	}
+}
+
+// --- micro-benchmarks of the core solver ---------------------------------
+
+func BenchmarkDecomposeCycle64K2(b *testing.B) {
+	in := cycleBench(64)
+	for i := 0; i < b.N; i++ {
+		_, ok, err := Decompose(context.Background(), in, Options{K: 2})
+		if err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func BenchmarkDecomposeCycle64K2Parallel8(b *testing.B) {
+	in := cycleBench(64)
+	for i := 0; i < b.N; i++ {
+		_, ok, err := Decompose(context.Background(), in, Options{K: 2, Workers: 8})
+		if err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func BenchmarkDetKCycle32K2(b *testing.B) {
+	in := cycleBench(32)
+	for i := 0; i < b.N; i++ {
+		_, ok, err := DecomposeDetK(context.Background(), in, 2)
+		if err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func BenchmarkHybridCycle64K2(b *testing.B) {
+	in := cycleBench(64)
+	for i := 0; i < b.N; i++ {
+		_, ok, err := Decompose(context.Background(), in,
+			Options{K: 2, Workers: 8, Hybrid: HybridWeightedCount, HybridThreshold: 40})
+		if err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func cycleBench(n int) *Hypergraph {
+	var bld Builder
+	for i := 0; i < n; i++ {
+		bld.MustAddEdge("", vn(i), vn((i+1)%n))
+	}
+	return bld.Build()
+}
+
+func vn(i int) string {
+	return "x" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}

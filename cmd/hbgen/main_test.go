@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+func TestRunWritesSuite(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	index, err := os.ReadFile(filepath.Join(dir, "index.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(index)), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("index has %d lines, expected a full suite", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "file,name,origin,edges") {
+		t.Fatalf("index header wrong: %q", lines[0])
+	}
+	// Every listed file exists and parses back to the declared edge count.
+	checked := 0
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		f, err := os.Open(filepath.Join(dir, fields[0]))
+		if err != nil {
+			t.Fatalf("missing instance file: %v", err)
+		}
+		h, err := hypergraph.Parse(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s does not parse: %v", fields[0], err)
+		}
+		if fields[3] != itoa(h.NumEdges()) {
+			t.Fatalf("%s: index says %s edges, file has %d", fields[0], fields[3], h.NumEdges())
+		}
+		checked++
+		if checked >= 10 {
+			break
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("app-cycle#3 / x"); strings.ContainsAny(got, "#/ ") {
+		t.Fatalf("sanitize left separators: %q", got)
+	}
+}

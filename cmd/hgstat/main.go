@@ -1,0 +1,65 @@
+// Command hgstat prints structural statistics of a hypergraph file:
+// vertex/edge counts, arity and degree distributions, connectivity,
+// GYO α-acyclicity (equivalently hw = 1), and the HyperBench size group.
+//
+// Usage:
+//
+//	hgstat file.hg [file2.hg ...]
+//	cat file.hg | hgstat -
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/hyperbench"
+	"repro/internal/hypergraph"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hgstat <file.hg|-> ...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range args {
+		if err := report(path); err != nil {
+			fmt.Fprintf(os.Stderr, "hgstat: %s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func report(path string) error {
+	var (
+		h   *hypergraph.Hypergraph
+		err error
+	)
+	if path == "-" {
+		h, err = hypergraph.Parse(os.Stdin)
+	} else {
+		f, ferr := os.Open(path)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		h, err = hypergraph.Parse(f)
+	}
+	if err != nil {
+		return err
+	}
+	st := h.ComputeStats()
+	reduced, _ := h.RemoveSubsumedEdges()
+
+	fmt.Printf("%s:\n", path)
+	fmt.Printf("  vertices:        %d\n", st.Vertices)
+	fmt.Printf("  edges:           %d  (group: %s)\n", st.Edges, hyperbench.SizeBucket(st.Edges))
+	fmt.Printf("  arity:           min %d, max %d, avg %.2f\n", st.MinArity, st.MaxArity, st.AvgArity)
+	fmt.Printf("  degree:          min %d, max %d, avg %.2f\n", st.MinDegree, st.MaxDegree, st.AvgDegree)
+	fmt.Printf("  connected:       %v\n", st.IsConnected)
+	fmt.Printf("  alpha-acyclic:   %v  (hw = 1 iff true)\n", h.IsAcyclic())
+	fmt.Printf("  subsumed edges:  %d\n", st.Edges-reduced.NumEdges())
+	return nil
+}

@@ -1,0 +1,162 @@
+// Command logk decomposes a hypergraph file.
+//
+// Usage:
+//
+//	logk -graph query.hg -k 3 [-method hybrid] [-workers 8] [-timeout 1h]
+//
+// The input uses the HyperBench format (name(v1,v2,...) terms separated
+// by commas). With -k 0 the tool searches for the optimal width. Methods:
+//
+//	logk    log-k-decomp (default)
+//	hybrid  log-k-decomp with det-k-decomp hybridisation
+//	detk    det-k-decomp
+//	basic   the unoptimised Algorithm 1 (tiny inputs only)
+//	ghd     BalancedGo-style generalized HD search
+//	opt     direct optimal-width solver (ignores -k)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/balgo"
+	"repro/internal/decomp"
+	"repro/internal/detk"
+	"repro/internal/hypergraph"
+	"repro/internal/logk"
+	"repro/internal/opt"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "hypergraph file (HyperBench format); '-' for stdin")
+		k         = flag.Int("k", 0, "width bound; 0 searches for the optimal width")
+		method    = flag.String("method", "logk", "logk | hybrid | detk | basic | ghd | opt")
+		workers   = flag.Int("workers", 1, "parallel workers for logk/hybrid")
+		timeout   = flag.Duration("timeout", time.Hour, "solve budget")
+		maxK      = flag.Int("maxk", 10, "width search bound when -k 0")
+		dot       = flag.Bool("dot", false, "emit Graphviz dot instead of the tree rendering")
+		quiet     = flag.Bool("quiet", false, "print only the verdict line")
+		stats     = flag.Bool("stats", false, "print solver statistics (logk/hybrid)")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "logk: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	h, err := readGraph(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	start := time.Now()
+	d, width, ok, solverStats, err := solve(ctx, h, *method, *k, *maxK, *workers)
+	elapsed := time.Since(start)
+	if err != nil {
+		fatal(fmt.Errorf("solve: %w", err))
+	}
+	if !ok {
+		if *k > 0 {
+			fmt.Printf("NO: hw(%s) > %d  [%s, %v]\n", *graphPath, *k, *method, elapsed)
+		} else {
+			fmt.Printf("UNKNOWN: hw(%s) > %d or budget exhausted  [%s, %v]\n", *graphPath, *maxK, *method, elapsed)
+		}
+		os.Exit(1)
+	}
+
+	// Re-verify before reporting.
+	var verr error
+	if *method == "ghd" {
+		verr = decomp.CheckGHD(d)
+	} else {
+		verr = decomp.CheckHD(d)
+	}
+	if verr == nil {
+		verr = decomp.CheckWidth(d, width)
+	}
+	if verr != nil {
+		fatal(fmt.Errorf("internal error: produced decomposition failed validation: %w", verr))
+	}
+
+	fmt.Printf("YES: width %d  [%s, %d nodes, depth %d, %v]\n",
+		width, *method, d.NumNodes(), d.Depth(), elapsed)
+	if !*quiet {
+		if *dot {
+			fmt.Print(d.DOT())
+		} else {
+			fmt.Print(d.String())
+		}
+	}
+	if *stats && solverStats != nil {
+		fmt.Printf("stats: candidates=%d parent-candidates=%d max-recursion-depth=%d hybrid-calls=%d\n",
+			solverStats.Candidates, solverStats.ParentCands, solverStats.MaxDepth, solverStats.HybridCalls)
+	}
+}
+
+func readGraph(path string) (*hypergraph.Hypergraph, error) {
+	if path == "-" {
+		return hypergraph.Parse(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return hypergraph.Parse(f)
+}
+
+func solve(ctx context.Context, h *hypergraph.Hypergraph, method string, k, maxK, workers int) (*decomp.Decomp, int, bool, *logk.Stats, error) {
+	if method == "opt" || k == 0 {
+		if method != "opt" && method != "logk" && method != "hybrid" && method != "detk" {
+			return nil, 0, false, nil, fmt.Errorf("width search (-k 0) supports methods opt/logk/hybrid/detk")
+		}
+		if method == "opt" {
+			w, d, ok, err := opt.New(h, maxK).Solve(ctx)
+			return d, w, ok, nil, err
+		}
+		for w := 1; w <= maxK; w++ {
+			d, _, ok, st, err := solve(ctx, h, method, w, maxK, workers)
+			if err != nil || ok {
+				return d, w, ok, st, err
+			}
+		}
+		return nil, 0, false, nil, nil
+	}
+
+	switch method {
+	case "logk":
+		s := logk.New(h, logk.Options{K: k, Workers: workers})
+		d, ok, err := s.Decompose(ctx)
+		st := s.Stats()
+		return d, k, ok, &st, err
+	case "hybrid":
+		s := logk.New(h, logk.Options{K: k, Workers: workers,
+			Hybrid: logk.HybridWeightedCount, HybridThreshold: 40})
+		d, ok, err := s.Decompose(ctx)
+		st := s.Stats()
+		return d, k, ok, &st, err
+	case "detk":
+		d, ok, err := detk.New(h, k).Decompose(ctx)
+		return d, k, ok, nil, err
+	case "basic":
+		d, ok, err := logk.NewBasic(h, k).Decompose(ctx)
+		return d, k, ok, nil, err
+	case "ghd":
+		d, ok, err := balgo.New(h, balgo.Options{K: k}).Decompose(ctx)
+		return d, k, ok, nil, err
+	default:
+		return nil, 0, false, nil, fmt.Errorf("unknown method %q", method)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "logk:", err)
+	os.Exit(1)
+}

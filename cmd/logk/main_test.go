@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/decomp"
+	"repro/internal/hypergraph"
+)
+
+func triangle(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	h, err := hypergraph.ParseString("r1(x,y), r2(y,z), r3(z,x).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestSolveAllMethods(t *testing.T) {
+	h := triangle(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for _, method := range []string{"logk", "hybrid", "detk", "basic", "ghd"} {
+		d, width, ok, _, err := solve(ctx, h, method, 2, 10, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if !ok || width != 2 {
+			t.Fatalf("%s: ok=%v width=%d", method, ok, width)
+		}
+		var verr error
+		if method == "ghd" {
+			verr = decomp.CheckGHD(d)
+		} else {
+			verr = decomp.CheckHD(d)
+		}
+		if verr != nil {
+			t.Fatalf("%s: %v", method, verr)
+		}
+	}
+}
+
+func TestSolveWidthSearch(t *testing.T) {
+	h := triangle(t)
+	ctx := context.Background()
+	for _, method := range []string{"opt", "logk", "hybrid", "detk"} {
+		d, width, ok, _, err := solve(ctx, h, method, 0, 5, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if !ok || width != 2 {
+			t.Fatalf("%s: ok=%v width=%d, want optimal 2", method, ok, width)
+		}
+		if d == nil {
+			t.Fatalf("%s: no decomposition returned", method)
+		}
+	}
+}
+
+func TestSolveRejectsBadMethod(t *testing.T) {
+	h := triangle(t)
+	if _, _, _, _, err := solve(context.Background(), h, "nope", 2, 5, 1); err == nil {
+		t.Fatal("unknown method should error")
+	}
+	if _, _, _, _, err := solve(context.Background(), h, "ghd", 0, 5, 1); err == nil {
+		t.Fatal("width search with ghd should error")
+	}
+}
+
+func TestSolveNegative(t *testing.T) {
+	h := triangle(t)
+	_, _, ok, _, err := solve(context.Background(), h, "logk", 1, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("triangle at k=1 should be rejected")
+	}
+}

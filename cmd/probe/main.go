@@ -1,0 +1,152 @@
+// Command probe is a scratch tool for calibrating the benchmark suite:
+// it measures which instance families separate the methods.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/detk"
+	"repro/internal/hypergraph"
+	"repro/internal/logk"
+	"repro/internal/opt"
+)
+
+func cylinder(n int) *hypergraph.Hypergraph {
+	var b hypergraph.Builder
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		b.MustAddEdge("", "a"+strconv.Itoa(i), "a"+strconv.Itoa(j))
+		b.MustAddEdge("", "b"+strconv.Itoa(i), "b"+strconv.Itoa(j))
+		b.MustAddEdge("", "a"+strconv.Itoa(i), "b"+strconv.Itoa(i))
+	}
+	return b.Build()
+}
+
+func grid(r, c int) *hypergraph.Hypergraph {
+	var b hypergraph.Builder
+	name := func(i, j int) string { return fmt.Sprintf("g%d_%d", i, j) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				b.MustAddEdge("", name(i, j), name(i, j+1))
+			}
+			if i+1 < r {
+				b.MustAddEdge("", name(i, j), name(i+1, j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func cliqueChain(cliques, size int) *hypergraph.Hypergraph {
+	var b hypergraph.Builder
+	for c := 0; c < cliques; c++ {
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				vi := fmt.Sprintf("c%d_%d", c, i)
+				vj := fmt.Sprintf("c%d_%d", c, j)
+				// share vertex 0 of next clique with vertex size-1 of this
+				if c+1 < cliques && i == size-1 {
+					vi = fmt.Sprintf("c%d_%d", c+1, 0)
+				}
+				if c+1 < cliques && j == size-1 {
+					vj = fmt.Sprintf("c%d_%d", c+1, 0)
+				}
+				b.MustAddEdge("", vi, vj)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func chordedDense(n, stride int) *hypergraph.Hypergraph {
+	var b hypergraph.Builder
+	for i := 0; i < n; i++ {
+		b.MustAddEdge("", "x"+strconv.Itoa(i), "x"+strconv.Itoa((i+1)%n))
+	}
+	for i := 0; i < n; i += stride {
+		b.MustAddEdge("", "x"+strconv.Itoa(i), "x"+strconv.Itoa((i+stride)%n))
+	}
+	return b.Build()
+}
+
+func probe(name string, h *hypergraph.Hypergraph, kmax int, budget time.Duration) {
+	fmt.Printf("%-22s |E|=%-4d |V|=%-4d ", name, h.NumEdges(), h.NumVertices())
+	type method struct {
+		name string
+		run  func(ctx context.Context, k int) (bool, error)
+	}
+	methods := []method{
+		{"detk", func(ctx context.Context, k int) (bool, error) {
+			_, ok, err := detk.New(h, k).Decompose(ctx)
+			return ok, err
+		}},
+		{"hyb", func(ctx context.Context, k int) (bool, error) {
+			_, ok, err := logk.New(h, logk.Options{K: k, Workers: 8,
+				Hybrid: logk.HybridWeightedCount, HybridThreshold: 40}).Decompose(ctx)
+			return ok, err
+		}},
+		{"logk", func(ctx context.Context, k int) (bool, error) {
+			_, ok, err := logk.New(h, logk.Options{K: k, Workers: 8}).Decompose(ctx)
+			return ok, err
+		}},
+	}
+	for _, m := range methods {
+		start := time.Now()
+		width := 0
+		proven := true
+		for k := 1; k <= kmax; k++ {
+			ctx, cancel := context.WithTimeout(context.Background(), budget)
+			ok, err := m.run(ctx, k)
+			cancel()
+			if err != nil {
+				proven = false
+				continue
+			}
+			if ok {
+				width = k
+				break
+			}
+		}
+		status := "UNSOLVED"
+		if width > 0 && proven {
+			status = fmt.Sprintf("w=%d", width)
+		} else if width > 0 {
+			status = fmt.Sprintf("w<=%d?", width)
+		}
+		fmt.Printf(" %s:%-8s %5.2fs |", m.name, status, time.Since(start).Seconds())
+	}
+	// opt
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	w, _, ok, _ := opt.New(h, kmax).Solve(ctx)
+	cancel()
+	if ok {
+		fmt.Printf(" opt:w=%d %5.2fs", w, time.Since(start).Seconds())
+	} else {
+		fmt.Printf(" opt:UNSOLVED %5.2fs", time.Since(start).Seconds())
+	}
+	fmt.Println()
+}
+
+func main() {
+	if len(os.Args) > 2 && os.Args[1] == "profile" {
+		k, _ := strconv.Atoi(os.Args[2])
+		profileRun(k)
+		return
+	}
+	budget := 500 * time.Millisecond
+	probe("cylinder(20)", cylinder(20), 6, budget)
+	probe("cylinder(30)", cylinder(30), 6, budget)
+	probe("grid(4,10)", grid(4, 10), 6, budget)
+	probe("grid(4,15)", grid(4, 15), 6, budget)
+	probe("grid(5,12)", grid(5, 12), 6, budget)
+	probe("cliqueChain(8,5)", cliqueChain(8, 5), 6, budget)
+	probe("cliqueChain(10,4)", cliqueChain(10, 4), 6, budget)
+	probe("chordedDense(60,4)", chordedDense(60, 4), 6, budget)
+	probe("chordedDense(80,5)", chordedDense(80, 5), 6, budget)
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/logk"
+)
+
+// profileRun writes a CPU profile of one plain log-k-decomp run; invoked
+// via `go run ./cmd/probe profile <k> [n]`.
+func profileRun(k int) {
+	n := 20
+	if len(os.Args) > 3 {
+		if v, err := strconv.Atoi(os.Args[3]); err == nil {
+			n = v
+		}
+	}
+	h := cylinder(n)
+	f, err := os.Create(fmt.Sprintf("/tmp/logk_k%d.prof", k))
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	pprof.StartCPUProfile(f)
+	defer pprof.StopCPUProfile()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	s := logk.New(h, logk.Options{K: k, Workers: 1})
+	start := time.Now()
+	_, ok, err := s.Decompose(ctx)
+	fmt.Printf("k=%d ok=%v err=%v in %v stats=%+v\n", k, ok, err, time.Since(start), s.Stats())
+}

@@ -1,0 +1,87 @@
+// cqeval: evaluate a cyclic conjunctive query with Yannakakis' algorithm
+// over a hypertree decomposition, and compare against the naive join —
+// the paper's §1 motivating application (HDs reduce CQ evaluation to an
+// acyclic instance solvable in polynomial time).
+//
+// The query is a "triangle of paths" — three relations forming a cycle
+// plus dangling selection atoms:
+//
+//	Q(x,y,z,…) = R(x,y) ∧ S(y,z) ∧ T(z,x) ∧ A(x,a) ∧ B(y,b)
+//
+// Run with: go run ./examples/cqeval
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/join"
+	"repro/internal/logk"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(42))
+
+	// Random data: each relation has 300 tuples over a domain of 40.
+	const tuples, domain = 300, 40
+	mk := func() *join.Relation {
+		rel := join.NewRelation("c1", "c2")
+		for i := 0; i < tuples; i++ {
+			rel.Add(r.Intn(domain), r.Intn(domain))
+		}
+		return rel
+	}
+	db := join.Database{"R": mk(), "S": mk(), "T": mk(), "A": mk(), "B": mk()}
+	q := join.Query{Atoms: []join.Atom{
+		{Relation: "R", Vars: []string{"x", "y"}},
+		{Relation: "S", Vars: []string{"y", "z"}},
+		{Relation: "T", Vars: []string{"z", "x"}},
+		{Relation: "A", Vars: []string{"x", "a"}},
+		{Relation: "B", Vars: []string{"y", "b"}},
+	}}
+
+	h, err := q.Hypergraph()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query hypergraph: %d variables, %d atoms\n", h.NumVertices(), h.NumEdges())
+
+	ctx := context.Background()
+	solver := logk.New(h, logk.Options{K: 2, Workers: 4})
+	d, ok, err := solver.Decompose(ctx)
+	if err != nil || !ok {
+		log.Fatalf("no HD of width 2 (ok=%v err=%v)", ok, err)
+	}
+	fmt.Printf("decomposition: width %d, %d nodes\n\n", d.Width(), d.NumNodes())
+
+	start := time.Now()
+	fast, err := join.Evaluate(q, db, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tFast := time.Since(start)
+
+	start = time.Now()
+	naive, err := join.EvaluateNaive(q, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tNaive := time.Since(start)
+
+	fmt.Printf("Yannakakis over HD: %6d answers in %v\n", fast.Size(), tFast)
+	fmt.Printf("naive join:         %6d answers in %v\n", naive.Size(), tNaive)
+	if fast.Size() != naive.Size() {
+		log.Fatal("answer sets disagree — this is a bug")
+	}
+	fmt.Println("results agree ✓")
+
+	// Boolean variant: satisfiability only, via the first semijoin pass.
+	sat, err := join.IsBoolean(q, db, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Boolean(Q) = %v\n", sat)
+}

@@ -1,0 +1,76 @@
+// cspsolve: solve a constraint satisfaction problem through its
+// hypertree decomposition — the paper's second motivating application.
+//
+// The CSP is 3-coloring of a prism graph (cycle × K2), whose constraint
+// hypergraph has hypertree width 3; the decomposition-guided solver
+// enumerates all proper colorings and cross-checks a backtracking
+// baseline.
+//
+// Run with: go run ./examples/cspsolve
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strconv"
+	"time"
+
+	"repro/internal/csp"
+)
+
+func main() {
+	// Prism graph edges: two concentric cycles a0..a7, b0..b7 plus rungs.
+	const n = 8
+	var edges [][2]string
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		edges = append(edges,
+			[2]string{"a" + strconv.Itoa(i), "a" + strconv.Itoa(j)},
+			[2]string{"b" + strconv.Itoa(i), "b" + strconv.Itoa(j)},
+			[2]string{"a" + strconv.Itoa(i), "b" + strconv.Itoa(i)},
+		)
+	}
+	p := csp.Coloring(edges, 3)
+	fmt.Printf("CSP: 3-coloring of the %d-prism (%d constraints, %d variables)\n",
+		n, len(edges), len(p.Variables()))
+
+	ctx := context.Background()
+	start := time.Now()
+	res, err := csp.Solve(ctx, p, csp.SolveOptions{MaxWidth: 4, Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decomposition width: %d (%d nodes)\n", res.Width, res.Decomp.NumNodes())
+	fmt.Printf("solutions via decomposition: %d in %v\n", res.Solutions.Size(), time.Since(start))
+
+	start = time.Now()
+	bt, err := csp.SolveBacktrack(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solutions via backtracking:  %d in %v\n", len(bt), time.Since(start))
+
+	if res.Solutions.Size() != len(bt) {
+		log.Fatal("solution counts disagree — this is a bug")
+	}
+	fmt.Println("results agree ✓")
+
+	// One concrete coloring, for show.
+	if res.Solutions.Size() > 0 {
+		vars := p.Variables()
+		proj, err := res.Solutions.Project(vars...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		first := proj.Sorted()[0]
+		fmt.Print("example coloring: ")
+		for i, v := range vars {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%s=%d", v, first[i])
+		}
+		fmt.Println()
+	}
+}

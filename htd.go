@@ -1,0 +1,130 @@
+// Package htd computes hypertree decompositions (HDs) of hypergraphs,
+// conjunctive queries and constraint networks. It is a from-scratch Go
+// implementation of log-k-decomp, the parallel decomposition algorithm
+// with logarithmic recursion depth of
+//
+//	Gottlob, Lanzinger, Okulmus, Pichler:
+//	"Fast Parallel Hypertree Decompositions in Logarithmic Recursion
+//	Depth", PODS 2022 (arXiv:2104.13793),
+//
+// together with the systems that paper evaluates against: det-k-decomp
+// (NewDetKDecomp), a BalancedGo-style GHD solver, and a direct
+// optimal-width solver.
+//
+// # Quick start
+//
+//	h, _ := htd.ParseString("r1(x,y), r2(y,z), r3(z,x).")
+//	d, ok, err := htd.Decompose(ctx, h, htd.Options{K: 2, Workers: 4})
+//	if ok {
+//	    fmt.Print(d)               // the decomposition tree
+//	    fmt.Println(d.Width())     // 2
+//	}
+//
+// Solvers accept a context for cancellation and timeouts; every returned
+// decomposition can be re-verified with Validate / ValidateGHD.
+package htd
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/balgo"
+	"repro/internal/decomp"
+	"repro/internal/detk"
+	"repro/internal/hypergraph"
+	"repro/internal/logk"
+	"repro/internal/opt"
+)
+
+// Hypergraph is an immutable hypergraph; construct one with a Builder or
+// by parsing the HyperBench text format.
+type Hypergraph = hypergraph.Hypergraph
+
+// Builder accumulates named edges and produces a Hypergraph.
+type Builder = hypergraph.Builder
+
+// Stats summarises structural properties of a hypergraph.
+type HypergraphStats = hypergraph.Stats
+
+// Decomposition is a rooted (generalized) hypertree decomposition.
+type Decomposition = decomp.Decomp
+
+// Node is one node of a decomposition tree.
+type Node = decomp.Node
+
+// Options configures the log-k-decomp solver; see the field docs in the
+// underlying type for the hybridisation and ablation knobs.
+type Options = logk.Options
+
+// HybridMetric selects the subproblem metric for the hybrid solver.
+type HybridMetric = logk.HybridMetric
+
+// Hybrid metric values.
+const (
+	HybridNone          = logk.HybridNone
+	HybridEdgeCount     = logk.HybridEdgeCount
+	HybridWeightedCount = logk.HybridWeightedCount
+)
+
+// SolverStats reports search-effort counters of a log-k-decomp run.
+type SolverStats = logk.Stats
+
+// Parse reads a hypergraph in HyperBench syntax: comma-separated
+// name(vertex,...) terms, optionally ending with a period; '%' starts a
+// line comment.
+func Parse(r io.Reader) (*Hypergraph, error) { return hypergraph.Parse(r) }
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Hypergraph, error) { return hypergraph.ParseString(s) }
+
+// Decompose checks hw(H) ≤ opts.K with log-k-decomp and returns a valid
+// HD of width ≤ K when one exists. It is the main entry point of this
+// library.
+func Decompose(ctx context.Context, h *Hypergraph, opts Options) (*Decomposition, bool, error) {
+	return logk.New(h, opts).Decompose(ctx)
+}
+
+// DecomposeStats is Decompose but additionally returns the solver's
+// effort counters (candidate counts, observed recursion depth, …).
+func DecomposeStats(ctx context.Context, h *Hypergraph, opts Options) (*Decomposition, bool, SolverStats, error) {
+	s := logk.New(h, opts)
+	d, ok, err := s.Decompose(ctx)
+	return d, ok, s.Stats(), err
+}
+
+// DecomposeK is Decompose with default options and width bound k.
+func DecomposeK(ctx context.Context, h *Hypergraph, k int) (*Decomposition, bool, error) {
+	return Decompose(ctx, h, Options{K: k})
+}
+
+// DecomposeDetK runs the sequential det-k-decomp baseline (Gottlob &
+// Samer 2008), useful for small hypergraphs and as a cross-check.
+func DecomposeDetK(ctx context.Context, h *Hypergraph, k int) (*Decomposition, bool, error) {
+	return detk.New(h, k).Decompose(ctx)
+}
+
+// DecomposeGHD searches for a generalized hypertree decomposition of
+// width ≤ k using balanced-separator search over the subedge-augmented
+// pool (BalancedGo style). subedgeOrder bounds the intersection depth
+// of the augmentation (0 picks the default of 2).
+func DecomposeGHD(ctx context.Context, h *Hypergraph, k, subedgeOrder int) (*Decomposition, bool, error) {
+	return balgo.New(h, balgo.Options{K: k, SubedgeOrder: subedgeOrder}).Decompose(ctx)
+}
+
+// OptimalWidth computes hw(H) exactly (searching widths 1..maxK) and a
+// witness decomposition. ok is false when hw(H) > maxK.
+func OptimalWidth(ctx context.Context, h *Hypergraph, maxK int) (int, *Decomposition, bool, error) {
+	return opt.New(h, maxK).Solve(ctx)
+}
+
+// Validate checks the four HD conditions (including the special
+// condition) and returns nil iff d is a valid hypertree decomposition
+// of its hypergraph.
+func Validate(d *Decomposition) error { return decomp.CheckHD(d) }
+
+// ValidateGHD checks validity as a generalized hypertree decomposition
+// (no special condition).
+func ValidateGHD(d *Decomposition) error { return decomp.CheckGHD(d) }
+
+// ValidateWidth verifies width(d) ≤ k.
+func ValidateWidth(d *Decomposition, k int) error { return decomp.CheckWidth(d, k) }

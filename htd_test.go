@@ -1,0 +1,99 @@
+package htd
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+const triangleSrc = "r1(x,y), r2(y,z), r3(z,x)."
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	h, err := ParseString(triangleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	d, ok, err := Decompose(ctx, h, Options{K: 2, Workers: 2})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if err := Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateWidth(d, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d.Width() != 2 {
+		t.Fatalf("width = %d, want 2", d.Width())
+	}
+}
+
+func TestDecomposeKRejectsTriangleAtOne(t *testing.T) {
+	h, _ := ParseString(triangleSrc)
+	_, ok, err := DecomposeK(context.Background(), h, 1)
+	if err != nil || ok {
+		t.Fatalf("triangle at k=1: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestDetKAndGHDBaselines(t *testing.T) {
+	h, _ := ParseString(triangleSrc)
+	ctx := context.Background()
+	d1, ok, err := DecomposeDetK(ctx, h, 2)
+	if err != nil || !ok {
+		t.Fatalf("detk: ok=%v err=%v", ok, err)
+	}
+	if err := Validate(d1); err != nil {
+		t.Fatal(err)
+	}
+	d2, ok, err := DecomposeGHD(ctx, h, 2, 0)
+	if err != nil || !ok {
+		t.Fatalf("ghd: ok=%v err=%v", ok, err)
+	}
+	if err := ValidateGHD(d2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalWidthPublic(t *testing.T) {
+	h, _ := ParseString(triangleSrc)
+	w, d, ok, err := OptimalWidth(context.Background(), h, 4)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if w != 2 {
+		t.Fatalf("optimal width = %d, want 2", w)
+	}
+	if err := Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeStatsExposed(t *testing.T) {
+	h, _ := ParseString(triangleSrc)
+	_, ok, st, err := DecomposeStats(context.Background(), h, Options{K: 2})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if st.Candidates == 0 {
+		t.Fatal("stats should count candidates")
+	}
+	if st.MaxDepth == 0 {
+		t.Fatal("stats should record recursion depth")
+	}
+}
+
+func TestBuilderPublic(t *testing.T) {
+	var b Builder
+	b.MustAddEdge("e1", "a", "b")
+	b.MustAddEdge("e2", "b", "c")
+	h := b.Build()
+	d, ok, err := DecomposeK(context.Background(), h, 1)
+	if err != nil || !ok {
+		t.Fatalf("path should have width 1: ok=%v err=%v", ok, err)
+	}
+	if !strings.Contains(d.String(), "lambda=") {
+		t.Fatal("rendering broken")
+	}
+}

@@ -1,0 +1,116 @@
+package balgo
+
+import (
+	"context"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/detk"
+	"repro/internal/hypergraph"
+)
+
+func cycle(n int) *hypergraph.Hypergraph {
+	var b hypergraph.Builder
+	for i := 0; i < n; i++ {
+		b.MustAddEdge("R"+strconv.Itoa(i+1), "x"+strconv.Itoa(i), "x"+strconv.Itoa((i+1)%n))
+	}
+	return b.Build()
+}
+
+func TestCycleGHD(t *testing.T) {
+	ctx := context.Background()
+	h := cycle(8)
+	if _, ok, err := New(h, Options{K: 1}).Decompose(ctx); err != nil || ok {
+		t.Fatalf("cycle k=1: ok=%v err=%v, want rejection", ok, err)
+	}
+	d, ok, err := New(h, Options{K: 2}).Decompose(ctx)
+	if err != nil || !ok {
+		t.Fatalf("cycle k=2: ok=%v err=%v", ok, err)
+	}
+	if err := decomp.CheckGHD(d); err != nil {
+		t.Fatalf("invalid GHD: %v\n%s", err, d)
+	}
+	if err := decomp.CheckWidth(d, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolContainsSubedges(t *testing.T) {
+	// Two overlapping ternary edges produce a pairwise intersection.
+	var b hypergraph.Builder
+	b.MustAddEdge("e1", "a", "b", "c")
+	b.MustAddEdge("e2", "b", "c", "d")
+	h := b.Build()
+	s := New(h, Options{K: 2})
+	if s.Stats.PoolSize <= h.NumEdges() {
+		t.Fatalf("pool size %d should exceed edge count %d", s.Stats.PoolSize, h.NumEdges())
+	}
+	sOff := New(h, Options{K: 2, SubedgeOrder: 1})
+	if sOff.Stats.PoolSize != h.NumEdges() {
+		t.Fatalf("order-1 pool size %d should equal edge count %d", sOff.Stats.PoolSize, h.NumEdges())
+	}
+}
+
+// TestGHDAtMostHD: since ghw ≤ hw and the balgo pool subsumes the HD
+// search, balgo must succeed whenever det-k-decomp does.
+func TestGHDAtMostHD(t *testing.T) {
+	ctx := context.Background()
+	for seed := 0; seed < 25; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		var b hypergraph.Builder
+		nv := 3 + r.Intn(6)
+		ne := 2 + r.Intn(7)
+		for e := 0; e < ne; e++ {
+			arity := 1 + r.Intn(min(3, nv))
+			seen := map[int]bool{}
+			var names []string
+			for len(names) < arity {
+				v := r.Intn(nv)
+				if !seen[v] {
+					seen[v] = true
+					names = append(names, "v"+strconv.Itoa(v))
+				}
+			}
+			b.MustAddEdge("", names...)
+		}
+		h := b.Build()
+		for k := 1; k <= 3; k++ {
+			_, hdOK, err := detk.New(h, k).Decompose(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dG, ghdOK, err := New(h, Options{K: k}).Decompose(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hdOK && !ghdOK {
+				t.Fatalf("seed %d k=%d: HD exists but GHD search failed\n%s", seed, k, h)
+			}
+			if ghdOK {
+				if err := decomp.CheckGHD(dG); err != nil {
+					t.Fatalf("seed %d k=%d: invalid GHD: %v", seed, k, err)
+				}
+				if err := decomp.CheckWidth(dG, k); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := New(cycle(24), Options{K: 2}).Decompose(ctx); err == nil {
+		t.Fatal("cancelled context should surface an error")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

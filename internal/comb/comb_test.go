@@ -1,0 +1,233 @@
+package comb
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialSmall(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 1, 5}, {5, 2, 10}, {10, 3, 120},
+		{52, 5, 2598960}, {3, 4, 0}, {-1, 0, 0}, {4, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialSymmetry(t *testing.T) {
+	for n := 0; n <= 30; n++ {
+		for k := 0; k <= n; k++ {
+			if Binomial(n, k) != Binomial(n, n-k) {
+				t.Fatalf("C(%d,%d) != C(%d,%d)", n, k, n, n-k)
+			}
+		}
+	}
+}
+
+func TestBinomialPascal(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for k := 1; k <= n; k++ {
+			if Binomial(n, k) != Binomial(n-1, k-1)+Binomial(n-1, k) {
+				t.Fatalf("Pascal identity fails at C(%d,%d)", n, k)
+			}
+		}
+	}
+}
+
+func TestBinomialSaturates(t *testing.T) {
+	if got := Binomial(500, 250); got != math.MaxInt64 {
+		t.Fatalf("C(500,250) should saturate, got %d", got)
+	}
+}
+
+func TestSpaceTotal(t *testing.T) {
+	// C(4,1)+C(4,2) = 4+6 = 10
+	if got := (Space{M: 4, K: 2}).Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	// K > M clamps: subsets of sizes 1..3 of 3 elements = 2^3-1 = 7
+	if got := (Space{M: 3, K: 5}).Total(); got != 7 {
+		t.Fatalf("Total = %d, want 7", got)
+	}
+	if got := (Space{M: 0, K: 3}).Total(); got != 0 {
+		t.Fatalf("Total of empty space = %d, want 0", got)
+	}
+}
+
+func TestIterEnumeratesWholeSpace(t *testing.T) {
+	s := Space{M: 6, K: 3}
+	it := NewIter(s, 0, s.Total())
+	var got [][]int
+	for c := it.Next(); c != nil; c = it.Next() {
+		cp := append([]int(nil), c...)
+		got = append(got, cp)
+	}
+	want := int(s.Total())
+	if len(got) != want {
+		t.Fatalf("enumerated %d subsets, want %d", len(got), want)
+	}
+	// Sizes must be non-decreasing, each subset strictly increasing, all unique.
+	seen := map[string]bool{}
+	lastSize := 0
+	for _, c := range got {
+		if len(c) < lastSize {
+			t.Fatalf("size decreased: %v after size %d", c, lastSize)
+		}
+		lastSize = len(c)
+		for i := 1; i < len(c); i++ {
+			if c[i] <= c[i-1] {
+				t.Fatalf("subset not strictly increasing: %v", c)
+			}
+		}
+		key := ""
+		for _, v := range c {
+			key += string(rune('a' + v))
+		}
+		if seen[key] {
+			t.Fatalf("duplicate subset %v", c)
+		}
+		seen[key] = true
+	}
+}
+
+func TestUnrankMatchesIteration(t *testing.T) {
+	s := Space{M: 7, K: 4}
+	it := NewIter(s, 0, s.Total())
+	buf := make([]int, 0, s.K)
+	for r := int64(0); r < s.Total(); r++ {
+		fromIter := it.Next()
+		fromUnrank := s.Unrank(r, buf)
+		if !reflect.DeepEqual(fromIter, fromUnrank) {
+			t.Fatalf("rank %d: iter %v != unrank %v", r, fromIter, fromUnrank)
+		}
+	}
+	if it.Next() != nil {
+		t.Fatal("iterator should be exhausted")
+	}
+}
+
+func TestRankUnrankRoundTrip(t *testing.T) {
+	s := Space{M: 9, K: 3}
+	buf := make([]int, 0, s.K)
+	for r := int64(0); r < s.Total(); r++ {
+		sub := s.Unrank(r, buf)
+		if got := s.Rank(sub); got != r {
+			t.Fatalf("Rank(Unrank(%d)) = %d", r, got)
+		}
+	}
+}
+
+func TestSplitCoversSpaceExactly(t *testing.T) {
+	s := Space{M: 8, K: 3}
+	for _, workers := range []int{1, 2, 3, 5, 16, 1000} {
+		var all [][]int
+		for _, it := range Split(s, workers) {
+			for c := it.Next(); c != nil; c = it.Next() {
+				all = append(all, append([]int(nil), c...))
+			}
+		}
+		if int64(len(all)) != s.Total() {
+			t.Fatalf("workers=%d: got %d subsets, want %d", workers, len(all), s.Total())
+		}
+		// Uniqueness check via sorting a canonical encoding.
+		keys := make([]string, len(all))
+		for i, c := range all {
+			k := ""
+			for _, v := range c {
+				k += string(rune('a'+v)) + ","
+			}
+			keys[i] = k
+		}
+		sort.Strings(keys)
+		for i := 1; i < len(keys); i++ {
+			if keys[i] == keys[i-1] {
+				t.Fatalf("workers=%d: duplicate subset across ranges: %q", workers, keys[i])
+			}
+		}
+	}
+}
+
+func TestIterEmptyRange(t *testing.T) {
+	s := Space{M: 5, K: 2}
+	it := NewIter(s, 3, 3)
+	if it.Next() != nil {
+		t.Fatal("empty range should yield nothing")
+	}
+	it = NewIter(s, s.Total(), s.Total()+10)
+	if it.Next() != nil {
+		t.Fatal("out-of-range should yield nothing")
+	}
+}
+
+func TestQuickRankUnrankBijection(t *testing.T) {
+	prop := func(mRaw, kRaw uint8, rRaw uint32) bool {
+		m := int(mRaw%20) + 1
+		k := int(kRaw%6) + 1
+		s := Space{M: m, K: k}
+		total := s.Total()
+		if total == 0 {
+			return true
+		}
+		r := int64(rRaw) % total
+		sub := s.Unrank(r, nil)
+		if int64(len(sub)) == 0 || len(sub) > k {
+			return false
+		}
+		return s.Rank(sub) == r
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSplitPreservesOrderWithinRange(t *testing.T) {
+	prop := func(mRaw, kRaw, wRaw uint8) bool {
+		m := int(mRaw%15) + 1
+		k := int(kRaw%4) + 1
+		w := int(wRaw%7) + 1
+		s := Space{M: m, K: k}
+		count := int64(0)
+		for _, it := range Split(s, w) {
+			for c := it.Next(); c != nil; c = it.Next() {
+				count++
+				_ = c
+			}
+		}
+		return count == s.Total()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIterate(b *testing.B) {
+	s := Space{M: 40, K: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := NewIter(s, 0, s.Total())
+		for c := it.Next(); c != nil; c = it.Next() {
+			_ = c
+		}
+	}
+}
+
+func BenchmarkUnrank(b *testing.B) {
+	s := Space{M: 100, K: 5}
+	total := s.Total()
+	r := rand.New(rand.NewSource(7))
+	buf := make([]int, 0, s.K)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Unrank(r.Int63n(total), buf)
+	}
+}

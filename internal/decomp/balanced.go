@@ -1,0 +1,93 @@
+package decomp
+
+import (
+	"repro/internal/ext"
+)
+
+// FindBalancedSeparator walks an HD of g per the constructive proof of
+// Lemma 3.10 and returns a node u such that
+//
+//   - every child subtree covers at most half of E′ ∪ Sp, and
+//   - the part of the tree above u covers strictly less than half.
+//
+// Every HD has such a node; the walk always terminates at one.
+func FindBalancedSeparator(d *Decomp, g *ext.Graph) *Node {
+	cc := computeSubtreeCov(d, g)
+	total := len(g.Edges) + len(g.Specials)
+	u := d.Root
+	for {
+		oversized := (*Node)(nil)
+		for _, ch := range u.Children {
+			if 2*cc[ch] > total {
+				oversized = ch
+				break
+			}
+		}
+		if oversized == nil {
+			return u
+		}
+		u = oversized
+	}
+}
+
+// computeSubtreeCov returns |cov(T_n)| for every node n of d with respect
+// to the items (edges and specials) of g, per Definition 3.4. In any
+// valid HD the cov sets of incomparable nodes are disjoint —
+// connectedness forces an item covered at two incomparable nodes to also
+// be covered at their common ancestors — so subtree sums are exact.
+func computeSubtreeCov(d *Decomp, g *ext.Graph) map[*Node]int {
+	tests := make([]func(n *Node) bool, 0, len(g.Edges)+len(g.Specials))
+	for _, e := range g.Edges {
+		e := e
+		tests = append(tests, func(n *Node) bool {
+			return d.H.Edge(e).SubsetOf(n.Bag)
+		})
+	}
+	for _, s := range g.Specials {
+		s := s
+		tests = append(tests, func(n *Node) bool {
+			return s.Vertices.SubsetOf(n.Bag)
+		})
+	}
+
+	subtreeCov := map[*Node]int{}
+	coveredOnPath := make([]bool, len(tests))
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		var newly []int
+		for i := range tests {
+			if !coveredOnPath[i] && tests[i](n) {
+				newly = append(newly, i)
+			}
+		}
+		for _, i := range newly {
+			coveredOnPath[i] = true
+		}
+		sum := len(newly)
+		for _, ch := range n.Children {
+			rec(ch)
+			sum += subtreeCov[ch]
+		}
+		subtreeCov[n] = sum
+		for _, i := range newly {
+			coveredOnPath[i] = false
+		}
+	}
+	rec(d.Root)
+	return subtreeCov
+}
+
+// IsBalancedSeparator checks Definition 3.9 directly for node u of an HD
+// of g: every child subtree covers ≤ half and the part above covers
+// strictly less than half of |E′| + |Sp|.
+func IsBalancedSeparator(d *Decomp, g *ext.Graph, u *Node) bool {
+	cc := computeSubtreeCov(d, g)
+	total := len(g.Edges) + len(g.Specials)
+	for _, ch := range u.Children {
+		if 2*cc[ch] > total {
+			return false
+		}
+	}
+	above := cc[d.Root] - cc[u]
+	return 2*above < total
+}

@@ -1,0 +1,194 @@
+// Package decomp defines (generalized) hypertree decompositions as
+// explicit trees, together with independent validity checkers for the
+// classic HD conditions, GHDs, and HDs of extended subhypergraphs
+// (Definition 3.3 of the paper). The checkers share no code with the
+// solvers, so every solver's output is verified by a second
+// implementation of the definitions.
+package decomp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/hypergraph"
+)
+
+// NoSpecial marks a Node that is not a special-edge leaf.
+const NoSpecial = -1
+
+// Node is one node u of a decomposition tree, carrying its λ-label
+// (edge ids of the base hypergraph) and its bag χ(u).
+//
+// During fragment construction a node may instead be a placeholder leaf
+// for a special edge: then SpecialID >= 0, Lambda is empty and Bag equals
+// the special edge's vertex set. Finished decompositions contain no
+// placeholder leaves.
+type Node struct {
+	Lambda    []int
+	SpecialID int
+	Bag       *bitset.Set
+	Children  []*Node
+}
+
+// NewNode returns a regular node with the given cover and bag.
+func NewNode(lambda []int, bag *bitset.Set) *Node {
+	l := append([]int(nil), lambda...)
+	sort.Ints(l)
+	return &Node{Lambda: l, SpecialID: NoSpecial, Bag: bag}
+}
+
+// NewSpecialLeaf returns a placeholder leaf for a special edge.
+func NewSpecialLeaf(id int, vertices *bitset.Set) *Node {
+	return &Node{SpecialID: id, Bag: vertices}
+}
+
+// IsSpecialLeaf reports whether n is a placeholder for a special edge.
+func (n *Node) IsSpecialLeaf() bool { return n.SpecialID != NoSpecial }
+
+// CoverSize returns |λ(u)|; a special leaf has λ = {s}, hence size 1.
+func (n *Node) CoverSize() int {
+	if n.IsSpecialLeaf() {
+		return 1
+	}
+	return len(n.Lambda)
+}
+
+// Walk calls f on n and all descendants in preorder. Returning false
+// from f stops the walk.
+func (n *Node) Walk(f func(*Node) bool) bool {
+	if !f(n) {
+		return false
+	}
+	for _, c := range n.Children {
+		if !c.Walk(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// FindSpecialLeaf returns the unique placeholder leaf with the given
+// special id, or nil if none exists.
+func (n *Node) FindSpecialLeaf(id int) *Node {
+	var found *Node
+	n.Walk(func(u *Node) bool {
+		if u.SpecialID == id {
+			found = u
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Decomp is a rooted decomposition of (an extended subhypergraph of) H.
+type Decomp struct {
+	H    *hypergraph.Hypergraph
+	Root *Node
+}
+
+// Width returns max over nodes of |λ(u)|, or 0 for an empty decomposition.
+func (d *Decomp) Width() int {
+	w := 0
+	if d.Root == nil {
+		return 0
+	}
+	d.Root.Walk(func(n *Node) bool {
+		if c := n.CoverSize(); c > w {
+			w = c
+		}
+		return true
+	})
+	return w
+}
+
+// NumNodes returns the number of nodes in the tree.
+func (d *Decomp) NumNodes() int {
+	c := 0
+	if d.Root != nil {
+		d.Root.Walk(func(*Node) bool { c++; return true })
+	}
+	return c
+}
+
+// Depth returns the number of nodes on the longest root-leaf path.
+func (d *Decomp) Depth() int {
+	var rec func(n *Node) int
+	rec = func(n *Node) int {
+		best := 0
+		for _, c := range n.Children {
+			if d := rec(c); d > best {
+				best = d
+			}
+		}
+		return best + 1
+	}
+	if d.Root == nil {
+		return 0
+	}
+	return rec(d.Root)
+}
+
+// String renders the decomposition as an indented tree with edge and
+// vertex names, in the style of det-k-decomp's output.
+func (d *Decomp) String() string {
+	var b strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		if n.IsSpecialLeaf() {
+			fmt.Fprintf(&b, "special#%d  chi=%s\n", n.SpecialID, d.bagNames(n.Bag))
+		} else {
+			fmt.Fprintf(&b, "lambda={%s}  chi=%s\n", d.coverNames(n.Lambda), d.bagNames(n.Bag))
+		}
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	if d.Root != nil {
+		rec(d.Root, 0)
+	}
+	return b.String()
+}
+
+func (d *Decomp) coverNames(lambda []int) string {
+	parts := make([]string, len(lambda))
+	for i, e := range lambda {
+		parts[i] = d.H.EdgeName(e)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (d *Decomp) bagNames(bag *bitset.Set) string {
+	var parts []string
+	bag.ForEach(func(v int) { parts = append(parts, d.H.VertexName(v)) })
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// DOT renders the decomposition in Graphviz dot syntax.
+func (d *Decomp) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph HD {\n  node [shape=box];\n")
+	ids := map[*Node]int{}
+	next := 0
+	d.Root.Walk(func(n *Node) bool {
+		ids[n] = next
+		next++
+		label := fmt.Sprintf("λ: %s\\nχ: %s", d.coverNames(n.Lambda), d.bagNames(n.Bag))
+		if n.IsSpecialLeaf() {
+			label = fmt.Sprintf("special#%d\\nχ: %s", n.SpecialID, d.bagNames(n.Bag))
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", ids[n], label)
+		return true
+	})
+	d.Root.Walk(func(n *Node) bool {
+		for _, c := range n.Children {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", ids[n], ids[c])
+		}
+		return true
+	})
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package decomp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GML renders the decomposition in the Graph Modelling Language used by
+// det-k-decomp and NewDetKDecomp for their output files, with the same
+// label convention: each node's label lists its λ and χ contents.
+func (d *Decomp) GML() string {
+	var b strings.Builder
+	b.WriteString("graph [\n  directed 0\n")
+	ids := map[*Node]int{}
+	next := 0
+	d.Root.Walk(func(n *Node) bool {
+		ids[n] = next
+		next++
+		var lam string
+		if n.IsSpecialLeaf() {
+			lam = fmt.Sprintf("special#%d", n.SpecialID)
+		} else {
+			parts := make([]string, len(n.Lambda))
+			for i, e := range n.Lambda {
+				parts[i] = d.H.EdgeName(e)
+			}
+			lam = strings.Join(parts, ", ")
+		}
+		var chi []string
+		n.Bag.ForEach(func(v int) { chi = append(chi, d.H.VertexName(v)) })
+		fmt.Fprintf(&b, "  node [\n    id %d\n    label \"{%s}  {%s}\"\n  ]\n",
+			ids[n], lam, strings.Join(chi, ", "))
+		return true
+	})
+	d.Root.Walk(func(n *Node) bool {
+		for _, c := range n.Children {
+			fmt.Fprintf(&b, "  edge [\n    source %d\n    target %d\n  ]\n", ids[n], ids[c])
+		}
+		return true
+	})
+	b.WriteString("]\n")
+	return b.String()
+}

@@ -1,0 +1,241 @@
+// Package detk implements det-k-decomp (Gottlob & Samer 2008), the
+// sequential state-of-the-art HD algorithm the paper compares against as
+// NewDetKDecomp [9], and which log-k-decomp's hybrid mode switches to on
+// small subproblems.
+//
+// The algorithm constructs an HD strictly top-down: given a component C
+// and the connector Conn to the already-built part above, it guesses a
+// λ-label covering Conn that makes progress (covers at least one edge of
+// C), derives the bag χ(u) = ∪λ ∩ (V(C) ∪ Conn), and recurses into the
+// [χ(u)]-components. Its performance relies on memoising failed and
+// successful (component, connector) states — the caching that the paper
+// identifies as the obstacle to parallelising it.
+//
+// This implementation is extended to handle extended subhypergraphs
+// (special edges), which the original does not need but the hybrid mode
+// of log-k-decomp does: a special edge is covered by attaching a
+// dedicated leaf below the node whose bag contains it.
+package detk
+
+import (
+	"context"
+
+	"repro/internal/bitset"
+	"repro/internal/decomp"
+	"repro/internal/ext"
+	"repro/internal/hypergraph"
+)
+
+// Solver runs det-k-decomp for one hypergraph and one width bound.
+// A Solver is not safe for concurrent use.
+type Solver struct {
+	H *hypergraph.Hypergraph
+	K int
+
+	split    *ext.Splitter
+	negCache map[string]struct{}
+	posCache map[string]*decomp.Node
+
+	// Stats are populated during Decompose for instrumentation.
+	Stats Stats
+
+	ctx      context.Context
+	ctxCheck int
+}
+
+// Stats reports search effort counters.
+type Stats struct {
+	Candidates int64 // λ-labels tried
+	CacheHits  int64
+	CacheMiss  int64
+	MaxDepth   int
+}
+
+// New returns a solver for hypergraph h and width bound k.
+func New(h *hypergraph.Hypergraph, k int) *Solver {
+	return &Solver{
+		H:        h,
+		K:        k,
+		split:    ext.NewSplitter(h),
+		negCache: make(map[string]struct{}),
+		posCache: make(map[string]*decomp.Node),
+	}
+}
+
+// Decompose checks whether hw(H) ≤ k and, if so, returns a width-≤k HD.
+// The context cancels long searches; ctx.Err() is returned in that case.
+func (s *Solver) Decompose(ctx context.Context) (*decomp.Decomp, bool, error) {
+	root := ext.Root(s.H)
+	conn := s.H.NewVertexSet()
+	node, ok, err := s.DecomposeExt(ctx, root, conn)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return &decomp.Decomp{H: s.H, Root: node}, true, nil
+}
+
+// DecomposeExt solves the extended subhypergraph g with interface conn.
+// It returns the root of an HD-fragment per Definition 3.3, in which
+// every special edge of g appears as exactly one placeholder leaf.
+func (s *Solver) DecomposeExt(ctx context.Context, g *ext.Graph, conn *bitset.Set) (*decomp.Node, bool, error) {
+	s.ctx = ctx
+	return s.rec(g, conn, 1)
+}
+
+func (s *Solver) rec(g *ext.Graph, conn *bitset.Set, depth int) (*decomp.Node, bool, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	if depth > s.Stats.MaxDepth {
+		s.Stats.MaxDepth = depth
+	}
+	// Base cases (mirroring lines 12-15 of Algorithm 1 plus the negative
+	// base case of Appendix C).
+	if len(g.Edges) == 0 {
+		switch len(g.Specials) {
+		case 0:
+			return nil, false, nil // nothing to cover: caller never passes this
+		case 1:
+			sp := g.Specials[0]
+			return decomp.NewSpecialLeaf(sp.ID, sp.Vertices), true, nil
+		default:
+			return nil, false, nil // ≥2 specials need a fresh edge: impossible
+		}
+	}
+	if len(g.Edges) <= s.K && len(g.Specials) == 0 {
+		bag := s.H.Union(g.Edges)
+		return decomp.NewNode(g.Edges, bag), true, nil
+	}
+
+	key := string(g.KeyStrict(conn, nil))
+	if _, bad := s.negCache[key]; bad {
+		s.Stats.CacheHits++
+		return nil, false, nil
+	}
+	if n, ok := s.posCache[key]; ok {
+		s.Stats.CacheHits++
+		return cloneNode(n), true, nil
+	}
+	s.Stats.CacheMiss++
+
+	node, ok, err := s.search(g, conn, depth)
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		s.posCache[key] = cloneNode(node)
+		return node, true, nil
+	}
+	s.negCache[key] = struct{}{}
+	return nil, false, nil
+}
+
+// search enumerates λ-labels for the next node below conn.
+func (s *Solver) search(g *ext.Graph, conn *bitset.Set, depth int) (*decomp.Node, bool, error) {
+	// Candidate pool: edges of H touching V(g) ∪ conn. Edges disjoint
+	// from the subproblem contribute nothing to the bag. Every λ chosen
+	// here roots the fragment covering g, hence sits above the leaf of
+	// every special of g — so edges touching the specials' forbidden
+	// vertices are excluded (see ext.Special.Forbidden).
+	scope := g.Vertices().Union(conn)
+	forbidden := g.ForbiddenUnion()
+	var pool []int
+	for e := 0; e < s.H.NumEdges(); e++ {
+		if !s.H.Edge(e).Intersects(scope) {
+			continue
+		}
+		if forbidden != nil && s.H.Edge(e).Intersects(forbidden) {
+			continue
+		}
+		pool = append(pool, e)
+	}
+	lambda := make([]int, 0, s.K)
+	cover := s.H.NewVertexSet()
+
+	var try func(startIdx int) (*decomp.Node, bool, error)
+	try = func(startIdx int) (*decomp.Node, bool, error) {
+		if len(lambda) > 0 {
+			s.Stats.Candidates++
+			s.ctxCheck++
+			if s.ctxCheck&0x3FF == 0 {
+				if err := s.ctx.Err(); err != nil {
+					return nil, false, err
+				}
+			}
+			if node, ok, err := s.tryLambda(g, conn, cover, lambda, depth); err != nil || ok {
+				return node, ok, err
+			}
+		}
+		if len(lambda) == s.K {
+			return nil, false, nil
+		}
+		for i := startIdx; i < len(pool); i++ {
+			e := pool[i]
+			lambda = append(lambda, e)
+			saved := cover.Clone()
+			cover.InPlaceUnion(s.H.Edge(e))
+			node, ok, err := try(i + 1)
+			lambda = lambda[:len(lambda)-1]
+			cover.CopyFrom(saved)
+			if err != nil || ok {
+				return node, ok, err
+			}
+		}
+		return nil, false, nil
+	}
+	return try(0)
+}
+
+// tryLambda checks one candidate λ-label and recurses on success.
+func (s *Solver) tryLambda(g *ext.Graph, conn *bitset.Set, cover *bitset.Set, lambda []int, depth int) (*decomp.Node, bool, error) {
+	// Connector must be fully covered (connectedness with the parent).
+	if !conn.SubsetOf(cover) {
+		return nil, false, nil
+	}
+	// Progress: some edge of the component must be fully covered
+	// (normal-form condition 2).
+	progress := false
+	for _, e := range g.Edges {
+		if s.H.Edge(e).SubsetOf(cover) {
+			progress = true
+			break
+		}
+	}
+	if !progress {
+		return nil, false, nil
+	}
+	// Bag per Gottlob & Samer: χ(u) = ∪λ ∩ (V(C) ∪ Conn).
+	chi := cover.Intersect(g.Vertices().Union(conn))
+
+	comps := s.split.Components(g, chi)
+	children := make([]*decomp.Node, 0, len(comps)+len(g.Specials))
+	for _, c := range comps {
+		childConn := c.Vertices().Intersect(chi)
+		child, ok, err := s.rec(c, childConn, depth+1)
+		if err != nil || !ok {
+			return nil, ok, err
+		}
+		children = append(children, child)
+	}
+	// Specials covered by this bag get dedicated leaves.
+	for _, sp := range g.SpecialsCoveredBy(chi) {
+		children = append(children, decomp.NewSpecialLeaf(sp.ID, sp.Vertices))
+	}
+	node := decomp.NewNode(lambda, chi)
+	node.Children = children
+	return node, true, nil
+}
+
+// cloneNode deep-copies a fragment so cached positives can be grafted
+// into multiple trees without aliasing.
+func cloneNode(n *decomp.Node) *decomp.Node {
+	c := &decomp.Node{
+		Lambda:    append([]int(nil), n.Lambda...),
+		SpecialID: n.SpecialID,
+		Bag:       n.Bag.Clone(),
+	}
+	for _, ch := range n.Children {
+		c.Children = append(c.Children, cloneNode(ch))
+	}
+	return c
+}

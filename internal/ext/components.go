@@ -1,0 +1,160 @@
+package ext
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/hypergraph"
+)
+
+// Splitter computes [U]-components of extended subhypergraphs over one
+// fixed base hypergraph. It reuses internal scratch buffers between calls
+// via epoch stamping, so component computation in the solvers' hot loops
+// is allocation-light. A Splitter is not safe for concurrent use; give
+// each worker goroutine its own.
+type Splitter struct {
+	h *hypergraph.Hypergraph
+
+	// union-find over the items (edges then specials) of the current call
+	parent []int32
+	rank   []int8
+
+	// root item -> output component index, reset per call
+	rootComp []int32
+	// scratch: item has a vertex outside u
+	hasOutside []bool
+
+	// vertex -> first item seen containing it (outside U), epoch-stamped
+	vOwner []int32
+	vStamp []uint32
+	epoch  uint32
+}
+
+// NewSplitter returns a Splitter for hypergraphs over h's vertex universe.
+func NewSplitter(h *hypergraph.Hypergraph) *Splitter {
+	return &Splitter{
+		h:      h,
+		vOwner: make([]int32, h.NumVertices()),
+		vStamp: make([]uint32, h.NumVertices()),
+	}
+}
+
+func (s *Splitter) find(i int32) int32 {
+	for s.parent[i] != i {
+		s.parent[i] = s.parent[s.parent[i]]
+		i = s.parent[i]
+	}
+	return i
+}
+
+func (s *Splitter) union(a, b int32) {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return
+	}
+	if s.rank[ra] < s.rank[rb] {
+		ra, rb = rb, ra
+	}
+	s.parent[rb] = ra
+	if s.rank[ra] == s.rank[rb] {
+		s.rank[ra]++
+	}
+}
+
+// Components returns the [u]-components of g (Definition 3.2): the
+// maximal subsets of E′ ∪ Sp connected transitively through shared
+// vertices outside u. Items entirely inside u (f ⊆ u) belong to no
+// component. Each returned component is itself a Graph over the same
+// base hypergraph.
+func (s *Splitter) Components(g *Graph, u *bitset.Set) []*Graph {
+	nItems := g.Size()
+	if cap(s.parent) < nItems {
+		s.parent = make([]int32, nItems)
+		s.rank = make([]int8, nItems)
+		s.rootComp = make([]int32, nItems)
+		s.hasOutside = make([]bool, nItems)
+	}
+	s.parent = s.parent[:nItems]
+	s.rank = s.rank[:nItems]
+	s.rootComp = s.rootComp[:nItems]
+	for i := range s.parent {
+		s.parent[i] = int32(i)
+		s.rank[i] = 0
+		s.rootComp[i] = -1
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped; reset stamps
+		for i := range s.vStamp {
+			s.vStamp[i] = 0
+		}
+		s.epoch = 1
+	}
+
+	itemVerts := func(i int) *bitset.Set {
+		if i < len(g.Edges) {
+			return s.h.Edge(g.Edges[i])
+		}
+		return g.Specials[i-len(g.Edges)].Vertices
+	}
+
+	if cap(s.hasOutside) < nItems {
+		s.hasOutside = make([]bool, nItems)
+	}
+	hasOutside := s.hasOutside[:nItems]
+	for i := range hasOutside {
+		hasOutside[i] = false
+	}
+	for i := 0; i < nItems; i++ {
+		vs := itemVerts(i)
+		vs.ForEach(func(v int) {
+			if u.Test(v) {
+				return
+			}
+			hasOutside[i] = true
+			if s.vStamp[v] == s.epoch {
+				s.union(int32(i), s.vOwner[v])
+			} else {
+				s.vStamp[v] = s.epoch
+				s.vOwner[v] = int32(i)
+			}
+		})
+	}
+
+	// Group items by union-find root, preserving order (edges first,
+	// ascending; then specials) so component edge lists stay sorted.
+	var comps []*Graph
+	for i := 0; i < nItems; i++ {
+		if !hasOutside[i] {
+			continue
+		}
+		r := s.find(int32(i))
+		ci := s.rootComp[r]
+		if ci < 0 {
+			ci = int32(len(comps))
+			s.rootComp[r] = ci
+			comps = append(comps, &Graph{H: g.H})
+		}
+		if i < len(g.Edges) {
+			comps[ci].Edges = append(comps[ci].Edges, g.Edges[i])
+		} else {
+			comps[ci].Specials = append(comps[ci].Specials, g.Specials[i-len(g.Edges)])
+		}
+	}
+	return comps
+}
+
+// LargestComponent returns the index of a component with size strictly
+// greater than half the size of total (2*|C| > total), or -1 if none
+// exists. At most one such component can exist.
+func LargestComponent(comps []*Graph, total int) int {
+	for i, c := range comps {
+		if 2*c.Size() > total {
+			return i
+		}
+	}
+	return -1
+}
+
+// AllBalanced reports whether every component has size at most half of
+// total (2*|C| ≤ total) — the balancedness condition of Definition 3.9.
+func AllBalanced(comps []*Graph, total int) bool {
+	return LargestComponent(comps, total) == -1
+}

@@ -1,0 +1,396 @@
+package ext
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/hypergraph"
+)
+
+func cycle(n int) *hypergraph.Hypergraph {
+	var b hypergraph.Builder
+	for i := 0; i < n; i++ {
+		b.MustAddEdge("", vname(i), vname((i+1)%n))
+	}
+	return b.Build()
+}
+
+func vname(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+func TestRootGraph(t *testing.T) {
+	h := cycle(5)
+	g := Root(h)
+	if g.Size() != 5 || len(g.Specials) != 0 {
+		t.Fatalf("root graph wrong: size=%d", g.Size())
+	}
+	if g.Vertices().Len() != 5 {
+		t.Fatalf("root vertices = %d", g.Vertices().Len())
+	}
+}
+
+func TestComponentsOfCycle(t *testing.T) {
+	// Separating a 10-cycle at the union of edges {0} and {5} (vertices
+	// 0,1 and 5,6) splits the rest into two arcs.
+	h := cycle(10)
+	g := Root(h)
+	sp := NewSplitter(h)
+	u := h.Union([]int{0, 5})
+	comps := sp.Components(g, u)
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	sizes := []int{comps[0].Size(), comps[1].Size()}
+	if !(sizes[0] == 4 && sizes[1] == 4) {
+		t.Fatalf("component sizes = %v, want [4 4]", sizes)
+	}
+	// Edges fully inside u (edges 0 and 5 themselves) are in no component.
+	for _, c := range comps {
+		for _, e := range c.Edges {
+			if e == 0 || e == 5 {
+				t.Fatalf("covered edge %d appears in a component", e)
+			}
+		}
+	}
+}
+
+func TestComponentsEmptySeparator(t *testing.T) {
+	h := cycle(6)
+	g := Root(h)
+	sp := NewSplitter(h)
+	comps := sp.Components(g, h.NewVertexSet())
+	if len(comps) != 1 || comps[0].Size() != 6 {
+		t.Fatalf("cycle under empty separator should be one component, got %d", len(comps))
+	}
+}
+
+func TestComponentsWithSpecials(t *testing.T) {
+	// Path a-b, b-c plus a special {c,d} and a special {x} (disconnected).
+	var b hypergraph.Builder
+	b.MustAddEdge("e1", "a", "b")
+	b.MustAddEdge("e2", "b", "c")
+	b.MustAddEdge("iso", "x", "y")
+	h := b.Build()
+	cIdx := -1
+	for v := 0; v < h.NumVertices(); v++ {
+		if h.VertexName(v) == "c" {
+			cIdx = v
+		}
+	}
+	s1 := Special{ID: 100, Vertices: bitset.FromSlice(h.NumVertices(), []int{cIdx})}
+	g := NewGraph(h, []int{0, 1, 2}, []Special{s1})
+
+	sp := NewSplitter(h)
+	// Separate at "b": e1 joins nothing across b; e2 and the special share c.
+	var bIdx int
+	for v := 0; v < h.NumVertices(); v++ {
+		if h.VertexName(v) == "b" {
+			bIdx = v
+		}
+	}
+	u := bitset.FromSlice(h.NumVertices(), []int{bIdx})
+	comps := sp.Components(g, u)
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	// One component must contain both edge e2 and the special.
+	found := false
+	for _, c := range comps {
+		if len(c.Edges) == 1 && c.Edges[0] == 1 && len(c.Specials) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("edge e2 and special {c} should share a component")
+	}
+}
+
+func TestSpecialsCoveredBy(t *testing.T) {
+	h := cycle(4)
+	s1 := Special{ID: 1, Vertices: bitset.FromSlice(h.NumVertices(), []int{0, 1})}
+	s2 := Special{ID: 2, Vertices: bitset.FromSlice(h.NumVertices(), []int{2, 3})}
+	g := NewGraph(h, nil, []Special{s1, s2})
+	u := bitset.FromSlice(h.NumVertices(), []int{0, 1, 2})
+	cov := g.SpecialsCoveredBy(u)
+	if len(cov) != 1 || cov[0].ID != 1 {
+		t.Fatalf("covered = %v", cov)
+	}
+}
+
+func TestSubtractAndWithSpecial(t *testing.T) {
+	h := cycle(6)
+	s1 := Special{ID: 7, Vertices: bitset.FromSlice(h.NumVertices(), []int{0})}
+	g := NewGraph(h, []int{0, 1, 2, 3}, []Special{s1})
+	d := NewGraph(h, []int{1, 3}, []Special{s1})
+	r := g.Subtract(d)
+	if !reflect.DeepEqual(r.Edges, []int{0, 2}) {
+		t.Fatalf("Subtract edges = %v", r.Edges)
+	}
+	if len(r.Specials) != 0 {
+		t.Fatalf("Subtract specials = %v", r.Specials)
+	}
+	r2 := r.WithSpecial(Special{ID: 9, Vertices: bitset.FromSlice(h.NumVertices(), []int{5})})
+	if len(r2.Specials) != 1 || r2.Specials[0].ID != 9 {
+		t.Fatal("WithSpecial failed")
+	}
+	if len(r.Specials) != 0 {
+		t.Fatal("WithSpecial mutated receiver")
+	}
+}
+
+func TestContainsEdge(t *testing.T) {
+	h := cycle(6)
+	g := NewGraph(h, []int{1, 3, 5}, nil)
+	for _, e := range []int{1, 3, 5} {
+		if !g.ContainsEdge(e) {
+			t.Fatalf("ContainsEdge(%d) = false", e)
+		}
+	}
+	for _, e := range []int{0, 2, 4} {
+		if g.ContainsEdge(e) {
+			t.Fatalf("ContainsEdge(%d) = true", e)
+		}
+	}
+}
+
+func TestKeyDistinguishesStates(t *testing.T) {
+	h := cycle(6)
+	conn := h.NewVertexSet()
+	g1 := NewGraph(h, []int{0, 1}, nil)
+	g2 := NewGraph(h, []int{0, 2}, nil)
+	if string(g1.Key(conn, nil)) == string(g2.Key(conn, nil)) {
+		t.Fatal("different edge sets share a key")
+	}
+	// Same specials content under different IDs must share a key.
+	sA := Special{ID: 1, Vertices: bitset.FromSlice(h.NumVertices(), []int{2, 3})}
+	sB := Special{ID: 42, Vertices: bitset.FromSlice(h.NumVertices(), []int{2, 3})}
+	gA := NewGraph(h, []int{0}, []Special{sA})
+	gB := NewGraph(h, []int{0}, []Special{sB})
+	if string(gA.Key(conn, nil)) != string(gB.Key(conn, nil)) {
+		t.Fatal("structurally identical graphs have different keys")
+	}
+	conn2 := bitset.FromSlice(h.NumVertices(), []int{0})
+	if string(gA.Key(conn, nil)) == string(gA.Key(conn2, nil)) {
+		t.Fatal("different Conn sets share a key")
+	}
+}
+
+func TestLargestComponentAndBalance(t *testing.T) {
+	h := cycle(8)
+	a := NewGraph(h, []int{0, 1, 2, 3, 4}, nil)
+	b := NewGraph(h, []int{5}, nil)
+	comps := []*Graph{b, a}
+	if got := LargestComponent(comps, 8); got != 1 {
+		t.Fatalf("LargestComponent = %d, want 1", got)
+	}
+	if AllBalanced(comps, 8) {
+		t.Fatal("component of size 5 of 8 is unbalanced")
+	}
+	if !AllBalanced(comps, 10) {
+		t.Fatal("size 5 of 10 is balanced (≤ half)")
+	}
+}
+
+func randomHypergraph(r *rand.Rand, maxV, maxE int) *hypergraph.Hypergraph {
+	nv := 2 + r.Intn(maxV-1)
+	ne := 1 + r.Intn(maxE)
+	var b hypergraph.Builder
+	for e := 0; e < ne; e++ {
+		maxArity := 3
+		if maxArity > nv {
+			maxArity = nv
+		}
+		arity := 1 + r.Intn(maxArity)
+		seen := map[int]bool{}
+		var names []string
+		for len(names) < arity {
+			v := r.Intn(nv)
+			if !seen[v] {
+				seen[v] = true
+				names = append(names, vname(v))
+			}
+		}
+		b.MustAddEdge("", names...)
+	}
+	return b.Build()
+}
+
+// Property: components partition the non-covered items, components are
+// pairwise vertex-disjoint outside U, and every item is either covered
+// (f ⊆ U) or in exactly one component.
+func TestQuickComponentsPartition(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomHypergraph(r, 12, 14)
+		g := Root(h)
+		u := h.NewVertexSet()
+		for v := 0; v < h.NumVertices(); v++ {
+			if r.Intn(3) == 0 {
+				u.Set(v)
+			}
+		}
+		sp := NewSplitter(h)
+		comps := sp.Components(g, u)
+
+		seen := map[int]int{} // edge id -> count over components
+		for _, c := range comps {
+			for _, e := range c.Edges {
+				seen[e]++
+			}
+		}
+		for e := 0; e < h.NumEdges(); e++ {
+			covered := h.Edge(e).SubsetOf(u)
+			switch {
+			case covered && seen[e] != 0:
+				return false
+			case !covered && seen[e] != 1:
+				return false
+			}
+		}
+		// Pairwise disjoint outside u.
+		for i := 0; i < len(comps); i++ {
+			for j := i + 1; j < len(comps); j++ {
+				vi := comps[i].Vertices().Diff(u)
+				vj := comps[j].Vertices().Diff(u)
+				if vi.Intersects(vj) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: maximality — merging any two distinct components would break
+// [U]-connectedness, i.e. no edge in one component shares an out-of-U
+// vertex with an edge in another (already covered by disjointness), and
+// within a component of size >= 2 every item connects to some other item.
+func TestQuickComponentsInternallyConnected(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomHypergraph(r, 10, 10)
+		g := Root(h)
+		u := h.NewVertexSet()
+		for v := 0; v < h.NumVertices(); v++ {
+			if r.Intn(4) == 0 {
+				u.Set(v)
+			}
+		}
+		sp := NewSplitter(h)
+		for _, c := range sp.Components(g, u) {
+			if c.Size() < 2 {
+				continue
+			}
+			// BFS inside the component over [u]-adjacency.
+			adj := func(a, b int) bool {
+				return h.Edge(c.Edges[a]).IntersectsDiff(h.Edge(c.Edges[b]), u)
+			}
+			visited := make([]bool, len(c.Edges))
+			stack := []int{0}
+			visited[0] = true
+			count := 1
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for y := range c.Edges {
+					if !visited[y] && adj(x, y) {
+						visited[y] = true
+						count++
+						stack = append(stack, y)
+					}
+				}
+			}
+			if count != len(c.Edges) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property behind Corollary 3.8 as used by the solver: for any
+// sub-collection d of g's items, the [U]-components of d coincide with
+// the [U ∩ V(d)]-components of d — adjacency only ever inspects shared
+// vertices, which lie in V(d). This is what lets log-k-decomp compute
+// χ(c) = ∪λ(c) ∩ V(compdown) and still split compdown exactly as ∪λ(c)
+// would.
+func TestQuickComponentsRestrictSeparator(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomHypergraph(r, 10, 10)
+		// Random sub-collection d of the edges.
+		var sub []int
+		for e := 0; e < h.NumEdges(); e++ {
+			if r.Intn(2) == 0 {
+				sub = append(sub, e)
+			}
+		}
+		if len(sub) == 0 {
+			return true
+		}
+		d := NewGraph(h, sub, nil)
+		u := h.NewVertexSet()
+		for v := 0; v < h.NumVertices(); v++ {
+			if r.Intn(3) == 0 {
+				u.Set(v)
+			}
+		}
+		restricted := u.Intersect(d.Vertices())
+		sp := NewSplitter(h)
+		a := sp.Components(d, u)
+		b := sp.Components(d, restricted)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if len(a[i].Edges) != len(b[i].Edges) {
+				return false
+			}
+			for j := range a[i].Edges {
+				if a[i].Edges[j] != b[i].Edges[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitterReuse(t *testing.T) {
+	h := cycle(12)
+	g := Root(h)
+	sp := NewSplitter(h)
+	u1 := h.Union([]int{0})
+	u2 := h.Union([]int{0, 6})
+	for i := 0; i < 50; i++ {
+		c1 := sp.Components(g, u1)
+		c2 := sp.Components(g, u2)
+		if len(c1) != 1 || len(c2) != 2 {
+			t.Fatalf("iteration %d: got %d and %d components", i, len(c1), len(c2))
+		}
+	}
+}
+
+func BenchmarkComponentsCycle64(b *testing.B) {
+	h := cycle(64)
+	g := Root(h)
+	sp := NewSplitter(h)
+	u := h.Union([]int{0, 16, 32, 48})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Components(g, u)
+	}
+}

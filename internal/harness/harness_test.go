@@ -1,0 +1,269 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hyperbench"
+	"repro/internal/logk"
+)
+
+// tinySuite returns a handful of instances with fast solves.
+func tinySuite() []hyperbench.Instance {
+	all := hyperbench.Suite(hyperbench.Config{Scale: 1})
+	var out []hyperbench.Instance
+	for _, in := range all {
+		if in.Edges() <= 12 {
+			out = append(out, in)
+		}
+		if len(out) == 8 {
+			break
+		}
+	}
+	return out
+}
+
+func TestRunParamSolvesAndProves(t *testing.T) {
+	r := &Runner{Timeout: 10 * time.Second, KMax: 4}
+	in := cycleInstance(8)
+	res := r.Run(context.Background(), MethodDetK(), in)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Solved || res.Width != 2 {
+		t.Fatalf("cycle(8): solved=%v width=%d, want solved at width 2", res.Solved, res.Width)
+	}
+	if res.Bounds[1] != No || res.Bounds[2] != Yes || res.Bounds[3] != Yes {
+		t.Fatalf("bounds wrong: %v", res.Bounds)
+	}
+	if res.Runtime <= 0 {
+		t.Fatal("runtime not recorded")
+	}
+}
+
+func TestRunOptimalMethod(t *testing.T) {
+	r := &Runner{Timeout: 10 * time.Second, KMax: 4}
+	res := r.Run(context.Background(), MethodOpt(), cycleInstance(6))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Solved || res.Width != 2 {
+		t.Fatalf("solved=%v width=%d", res.Solved, res.Width)
+	}
+}
+
+func TestTimeoutsAreRecorded(t *testing.T) {
+	// A high-width clique at 1ms per width: every width run times out.
+	r := &Runner{Timeout: time.Millisecond, KMax: 3}
+	var in hyperbench.Instance
+	for _, cand := range hyperbench.Suite(hyperbench.Config{Scale: 1}) {
+		if cand.KnownHW >= 5 && cand.Edges() > 40 {
+			in = cand
+			break
+		}
+	}
+	if in.H == nil {
+		t.Fatal("no large instance in suite")
+	}
+	res := r.Run(context.Background(), MethodDetK(), in)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Solved {
+		t.Fatal("1ms budget should not solve a 60-edge instance")
+	}
+	if !res.TimedOut {
+		t.Fatal("timeout not recorded")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	results := []Result{
+		{Method: "a", Solved: true, Runtime: 2 * time.Second},
+		{Method: "a", Solved: true, Runtime: 4 * time.Second},
+		{Method: "a", Solved: false, Runtime: 9 * time.Second},
+		{Method: "b", Solved: true, Runtime: 1 * time.Second},
+	}
+	st := Aggregate(results, func(r Result) bool { return r.Method == "a" })
+	if st.Count != 3 || st.Solved != 2 {
+		t.Fatalf("count=%d solved=%d", st.Count, st.Solved)
+	}
+	if st.AvgSec != 3.0 || st.MaxSec != 4.0 {
+		t.Fatalf("avg=%f max=%f", st.AvgSec, st.MaxSec)
+	}
+	if st.StdevSec != 1.0 {
+		t.Fatalf("stdev=%f", st.StdevSec)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "T", Headers: []string{"a", "bb"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("xyz", "w")
+	out := tab.Render()
+	if !strings.Contains(out, "a    bb") && !strings.Contains(out, "a  ") {
+		t.Fatalf("header misaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "2.5") || !strings.Contains(out, "xyz") {
+		t.Fatalf("cells missing:\n%s", out)
+	}
+}
+
+func TestTable1SmallSuite(t *testing.T) {
+	cfg := Config{
+		Suite:   tinySuite(),
+		Timeout: 3 * time.Second,
+		KMax:    4,
+		Workers: 2,
+	}
+	tab, results := Table1(context.Background(), cfg)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s on %s: %v", r.Method, r.Instance.Name, r.Err)
+		}
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "Hyb#") || !strings.Contains(out, "Total") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+}
+
+func TestTable4FromResults(t *testing.T) {
+	cfg := Config{Suite: tinySuite(), Timeout: 3 * time.Second, KMax: 3, Workers: 1}
+	_, results := Table3(context.Background(), cfg)
+	tab := Table4(results, len(cfg.Suite), 3)
+	out := tab.Render()
+	if !strings.Contains(out, "hw <= 1") || !strings.Contains(out, "VirtualBest") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+}
+
+func TestFigure3Data(t *testing.T) {
+	cfg := Config{Suite: tinySuite(), Timeout: 3 * time.Second, KMax: 3, Workers: 1}
+	r := cfg.runner()
+	results := r.RunAll(context.Background(), []Method{MethodDetK()}, cfg.Suite, nil)
+	csv, tab := Figure3(results)
+	if !strings.HasPrefix(csv, "method,instance,edges,vertices,solved") {
+		t.Fatalf("csv header wrong: %q", csv[:50])
+	}
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != len(results)+1 {
+		t.Fatal("csv row count mismatch")
+	}
+	if !strings.Contains(tab.Render(), "DetK-s") {
+		t.Fatalf("figure table malformed:\n%s", tab.Render())
+	}
+}
+
+func TestDepthExperiment(t *testing.T) {
+	tab := DepthExperiment(context.Background(), []int{8, 16})
+	out := tab.Render()
+	if !strings.Contains(out, "observed depth") {
+		t.Fatalf("depth table malformed:\n%s", out)
+	}
+	if strings.Contains(out, "error") {
+		t.Fatalf("depth experiment failed:\n%s", out)
+	}
+}
+
+func TestGHDComparisonSmall(t *testing.T) {
+	cfg := Config{Suite: tinySuite()[:4], Timeout: 3 * time.Second, KMax: 3, Workers: 1}
+	tab, err := GHDComparison(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "ghw < hw cases") {
+		t.Fatalf("comparison table malformed:\n%s", out)
+	}
+}
+
+func TestFigure1Smoke(t *testing.T) {
+	// A minimal HBlarge-sim slice: one large known-width instance.
+	var suite []hyperbench.Instance
+	for _, in := range hyperbench.Suite(hyperbench.Config{Scale: 1}) {
+		if in.Edges() > 50 && in.KnownHW == 2 {
+			suite = append(suite, in)
+		}
+		if len(suite) == 2 {
+			break
+		}
+	}
+	if len(suite) == 0 {
+		t.Fatal("no large known-width instances in suite")
+	}
+	cfg := Config{Suite: suite, Timeout: 5 * time.Second, KMax: 3, Workers: 2}
+	tab, series := Figure1(context.Background(), cfg, []int{1, 2})
+	out := tab.Render()
+	if !strings.Contains(out, "cores") {
+		t.Fatalf("figure table malformed:\n%s", out)
+	}
+	pts := series["log-k(Hybrid)"]
+	if len(pts) != 2 {
+		t.Fatalf("hybrid series has %d points, want 2", len(pts))
+	}
+	if pts[0].AvgSec <= 0 {
+		t.Fatal("hybrid should solve the instances at this budget")
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	var suite []hyperbench.Instance
+	for _, in := range hyperbench.Suite(hyperbench.Config{Scale: 1}) {
+		if in.Edges() > 50 && in.KnownHW == 2 {
+			suite = append(suite, in)
+			break
+		}
+	}
+	cfg := Config{Suite: suite, Timeout: 5 * time.Second, KMax: 3, Workers: 2}
+	tab, results := Table2(context.Background(), cfg)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if !strings.Contains(tab.Render(), "WeightedCount") {
+		t.Fatalf("table malformed:\n%s", tab.Render())
+	}
+}
+
+func TestTable5Smoke(t *testing.T) {
+	cfg := Config{Suite: tinySuite()[:3], Timeout: 2 * time.Second, KMax: 3, Workers: 1}
+	tab, results := Table5(context.Background(), cfg)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if !strings.Contains(tab.Render(), "delta vs 1x") {
+		t.Fatalf("table malformed:\n%s", tab.Render())
+	}
+}
+
+func TestAblationSmoke(t *testing.T) {
+	var suite []hyperbench.Instance
+	for _, in := range hyperbench.Suite(hyperbench.Config{Scale: 1}) {
+		if in.KnownHW > 0 && in.Edges() > 10 && in.Edges() <= 30 {
+			suite = append(suite, in)
+		}
+		if len(suite) == 3 {
+			break
+		}
+	}
+	cfg := Config{Suite: suite, Timeout: 5 * time.Second, KMax: 3, Workers: 1}
+	tab := AblationExperiment(context.Background(), cfg)
+	if !strings.Contains(tab.Render(), "full (Algorithm 2)") {
+		t.Fatalf("table malformed:\n%s", tab.Render())
+	}
+}
+
+func TestMethodLogKName(t *testing.T) {
+	if MethodLogK(2).Name != "log-k-decomp" {
+		t.Fatal("unexpected method name")
+	}
+	if shortName("log-k-decomp Hybrid") != "Hyb" {
+		t.Fatal("short name mapping broken")
+	}
+	_ = logk.HybridWeightedCount
+}

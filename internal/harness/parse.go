@@ -1,0 +1,13 @@
+package harness
+
+import "repro/internal/hypergraph"
+
+// mustParse parses a HyperBench-format string, panicking on error; used
+// only for generator-internal fixed instances.
+func mustParse(s string) *hypergraph.Hypergraph {
+	h, err := hypergraph.ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

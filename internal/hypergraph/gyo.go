@@ -1,0 +1,95 @@
+package hypergraph
+
+import "repro/internal/bitset"
+
+// IsAcyclic reports whether the hypergraph is α-acyclic, using the
+// GYO (Graham / Yu–Özsoyoğlu) reduction: repeatedly
+//
+//  1. remove vertices that occur in exactly one edge ("ear vertices"), and
+//  2. remove edges that are contained in another (remaining) edge,
+//
+// until a fixpoint. H is α-acyclic iff the reduction empties every edge.
+//
+// α-acyclicity characterises hypertree width 1 (Gottlob, Leone, Scarcello
+// 2002), which gives the tests an independent oracle for hw(H) = 1.
+func (h *Hypergraph) IsAcyclic() bool {
+	n, m := h.NumVertices(), h.NumEdges()
+	if m == 0 {
+		return true
+	}
+	// Working copies of edges (vertex sets) and an "alive" flag per edge.
+	edges := make([]*bitset.Set, m)
+	for i, e := range h.edges {
+		edges[i] = e.Clone()
+	}
+	alive := make([]bool, m)
+	for i := range alive {
+		alive[i] = true
+	}
+	// degree[v] = number of alive edges containing v.
+	degree := make([]int, n)
+	for i := range edges {
+		edges[i].ForEach(func(v int) { degree[v]++ })
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		// Rule 1: drop vertices of degree 1.
+		for i := range edges {
+			if !alive[i] {
+				continue
+			}
+			var drop []int
+			edges[i].ForEach(func(v int) {
+				if degree[v] == 1 {
+					drop = append(drop, v)
+				}
+			})
+			for _, v := range drop {
+				edges[i].Clear(v)
+				degree[v] = 0
+				changed = true
+			}
+		}
+		// Rule 2: drop edges subsumed by another alive edge (empty edges
+		// are subsumed by anything alive, and an edge equal to another is
+		// subsumed with the duplicate of higher index removed).
+		for i := range edges {
+			if !alive[i] {
+				continue
+			}
+			for j := range edges {
+				if i == j || !alive[j] {
+					continue
+				}
+				if edges[i].SubsetOf(edges[j]) && (!edges[j].SubsetOf(edges[i]) || i > j) {
+					alive[i] = false
+					edges[i].ForEach(func(v int) { degree[v]-- })
+					changed = true
+					break
+				}
+			}
+		}
+		// An empty alive edge with no alive peers left: treat as removable.
+		aliveCount := 0
+		last := -1
+		for i := range alive {
+			if alive[i] {
+				aliveCount++
+				last = i
+			}
+		}
+		if aliveCount == 1 && edges[last].IsEmpty() {
+			alive[last] = false
+			changed = true
+		}
+	}
+
+	for i := range alive {
+		if alive[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package hypergraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParsePACE reads a hypergraph in the PACE 2019 "htd" format used by the
+// parameterized-algorithms competition the paper cites [7]:
+//
+//	c a comment
+//	p htd <num-vertices> <num-edges>
+//	<edge-id> <vertex> <vertex> ...
+//
+// Vertices are 1-based integers; edge ids are 1..m in order. Vertex
+// names become "v<i>" and edge names "e<id>".
+func ParsePACE(r io.Reader) (*Hypergraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var b Builder
+	declaredVerts, declaredEdges := -1, -1
+	edgeCount := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "htd" {
+				return nil, fmt.Errorf("hypergraph: malformed PACE problem line %q", line)
+			}
+			var err1, err2 error
+			declaredVerts, err1 = strconv.Atoi(fields[2])
+			declaredEdges, err2 = strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || declaredVerts < 0 || declaredEdges < 0 {
+				return nil, fmt.Errorf("hypergraph: bad counts in problem line %q", line)
+			}
+			continue
+		}
+		if declaredVerts < 0 {
+			return nil, fmt.Errorf("hypergraph: edge line before problem line: %q", line)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("hypergraph: edge line needs an id and at least one vertex: %q", line)
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("hypergraph: bad edge id in %q", line)
+		}
+		verts := make([]string, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			v, err := strconv.Atoi(f)
+			if err != nil || v < 1 || v > declaredVerts {
+				return nil, fmt.Errorf("hypergraph: vertex %q out of range 1..%d", f, declaredVerts)
+			}
+			verts = append(verts, "v"+strconv.Itoa(v))
+		}
+		if err := b.AddEdge("e"+strconv.Itoa(id), verts...); err != nil {
+			return nil, err
+		}
+		edgeCount++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hypergraph: read: %w", err)
+	}
+	if edgeCount == 0 {
+		return nil, fmt.Errorf("hypergraph: no edges found")
+	}
+	if declaredEdges >= 0 && edgeCount != declaredEdges {
+		return nil, fmt.Errorf("hypergraph: problem line declares %d edges, found %d", declaredEdges, edgeCount)
+	}
+	return b.Build(), nil
+}
+
+// WritePACE renders the hypergraph in the PACE 2019 htd format. Vertex
+// numbering follows internal ids shifted to 1-based.
+func (h *Hypergraph) WritePACE(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p htd %d %d\n", h.NumVertices(), h.NumEdges())
+	for e := 0; e < h.NumEdges(); e++ {
+		fmt.Fprintf(bw, "%d", e+1)
+		for _, v := range h.EdgeVertices(e) {
+			fmt.Fprintf(bw, " %d", v+1)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,70 @@
+package hypergraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParsePACE(t *testing.T) {
+	src := `c the triangle
+p htd 3 3
+1 1 2
+2 2 3
+3 3 1
+`
+	h, err := ParsePACE(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != 3 || h.NumEdges() != 3 {
+		t.Fatalf("shape: %d vertices, %d edges", h.NumVertices(), h.NumEdges())
+	}
+	if h.EdgeName(0) != "e1" {
+		t.Fatalf("edge name = %q", h.EdgeName(0))
+	}
+	if h.IsAcyclic() {
+		t.Fatal("triangle should be cyclic")
+	}
+}
+
+func TestParsePACEErrors(t *testing.T) {
+	cases := []string{
+		"",                 // empty
+		"1 1 2",            // edge before problem line
+		"p htd 3 2\n1 1 2", // declared 2 edges, found 1
+		"p htd x y\n",      // bad counts
+		"p tw 3 3\n1 1 2",  // wrong problem type
+		"p htd 2 1\n1 1 5", // vertex out of range
+		"p htd 2 1\n1",     // edge without vertices
+		"p htd 2 1\nz 1 2", // bad edge id
+	}
+	for _, src := range cases {
+		if _, err := ParsePACE(strings.NewReader(src)); err == nil {
+			t.Errorf("ParsePACE(%q) should fail", src)
+		}
+	}
+}
+
+func TestPACERoundTrip(t *testing.T) {
+	var b Builder
+	b.MustAddEdge("r1", "a", "b", "c")
+	b.MustAddEdge("r2", "c", "d")
+	h := b.Build()
+	var buf bytes.Buffer
+	if err := h.WritePACE(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ParsePACE(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.NumVertices() != h.NumVertices() || h2.NumEdges() != h.NumEdges() {
+		t.Fatal("round trip changed shape")
+	}
+	for e := 0; e < h.NumEdges(); e++ {
+		if h.Edge(e).Len() != h2.Edge(e).Len() {
+			t.Fatalf("edge %d arity changed", e)
+		}
+	}
+}

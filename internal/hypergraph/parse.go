@@ -1,0 +1,144 @@
+package hypergraph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads a hypergraph in the HyperBench / det-k-decomp text format:
+//
+//	% comment
+//	edge1(v1,v2,v3),
+//	edge2(v2,v4).
+//
+// Edges are name(vertex,...) terms separated by commas; the final edge may
+// be terminated by a period. Whitespace is insignificant. Vertex and edge
+// names may contain any characters except '(', ')', ',', '.', and
+// whitespace.
+func Parse(r io.Reader) (*Hypergraph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("hypergraph: read: %w", err)
+	}
+	return ParseString(string(data))
+}
+
+// ParseString is Parse over an in-memory string.
+func ParseString(s string) (*Hypergraph, error) {
+	p := &parser{input: stripComments(s)}
+	var b Builder
+	for {
+		p.skipSpace()
+		if p.done() {
+			break
+		}
+		name, verts, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		if err := b.AddEdge(name, verts...); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		switch {
+		case p.done():
+		case p.peek() == ',':
+			p.pos++
+		case p.peek() == '.':
+			p.pos++
+			p.skipSpace()
+			if !p.done() {
+				return nil, fmt.Errorf("hypergraph: trailing input after '.' at offset %d", p.pos)
+			}
+		default:
+			return nil, fmt.Errorf("hypergraph: expected ',' or '.' at offset %d, found %q", p.pos, p.peek())
+		}
+	}
+	if len(b.edgeNames) == 0 {
+		return nil, fmt.Errorf("hypergraph: no edges found")
+	}
+	return b.Build(), nil
+}
+
+func stripComments(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, ln := range lines {
+		if idx := strings.IndexByte(ln, '%'); idx >= 0 {
+			lines[i] = ln[:idx]
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.input) }
+func (p *parser) peek() byte { return p.input[p.pos] }
+func (p *parser) skipSpace() {
+	for !p.done() {
+		switch p.peek() {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func isNameByte(c byte) bool {
+	switch c {
+	case '(', ')', ',', '.', ' ', '\t', '\n', '\r', '%':
+		return false
+	}
+	return true
+}
+
+func (p *parser) name() (string, error) {
+	start := p.pos
+	for !p.done() && isNameByte(p.peek()) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("hypergraph: expected name at offset %d", p.pos)
+	}
+	return p.input[start:p.pos], nil
+}
+
+// term parses name(v1,v2,...).
+func (p *parser) term() (string, []string, error) {
+	name, err := p.name()
+	if err != nil {
+		return "", nil, err
+	}
+	p.skipSpace()
+	if p.done() || p.peek() != '(' {
+		return "", nil, fmt.Errorf("hypergraph: expected '(' after %q at offset %d", name, p.pos)
+	}
+	p.pos++
+	var verts []string
+	for {
+		p.skipSpace()
+		v, err := p.name()
+		if err != nil {
+			return "", nil, err
+		}
+		verts = append(verts, v)
+		p.skipSpace()
+		if p.done() {
+			return "", nil, fmt.Errorf("hypergraph: unterminated edge %q", name)
+		}
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return name, verts, nil
+		default:
+			return "", nil, fmt.Errorf("hypergraph: expected ',' or ')' in edge %q at offset %d", name, p.pos)
+		}
+	}
+}

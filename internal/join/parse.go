@@ -1,0 +1,65 @@
+package join
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseQuery reads a conjunctive query in Datalog-ish syntax:
+//
+//	R(x,y), S(y,z), T(z,x)
+//
+// or with an explicit (ignored) head:
+//
+//	Q(x,y,z) :- R(x,y), S(y,z), T(z,x).
+//
+// Atom and variable names may contain anything except '(', ')', ',',
+// whitespace and '.'. The same relation name may appear in several
+// atoms (self-joins).
+func ParseQuery(src string) (Query, error) {
+	s := strings.TrimSpace(src)
+	if i := strings.Index(s, ":-"); i >= 0 {
+		s = strings.TrimSpace(s[i+2:])
+	}
+	s = strings.TrimSuffix(strings.TrimSpace(s), ".")
+	var q Query
+	pos := 0
+	for {
+		for pos < len(s) && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' || s[pos] == ',') {
+			pos++
+		}
+		if pos >= len(s) {
+			break
+		}
+		open := strings.IndexByte(s[pos:], '(')
+		if open < 0 {
+			return Query{}, fmt.Errorf("join: expected '(' after atom name at offset %d", pos)
+		}
+		name := strings.TrimSpace(s[pos : pos+open])
+		if name == "" {
+			return Query{}, fmt.Errorf("join: empty atom name at offset %d", pos)
+		}
+		close := strings.IndexByte(s[pos+open:], ')')
+		if close < 0 {
+			return Query{}, fmt.Errorf("join: unterminated atom %q", name)
+		}
+		inner := s[pos+open+1 : pos+open+close]
+		var vars []string
+		for _, v := range strings.Split(inner, ",") {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				return Query{}, fmt.Errorf("join: empty variable in atom %q", name)
+			}
+			vars = append(vars, v)
+		}
+		if len(vars) == 0 {
+			return Query{}, fmt.Errorf("join: atom %q has no variables", name)
+		}
+		q.Atoms = append(q.Atoms, Atom{Relation: name, Vars: vars})
+		pos += open + close + 1
+	}
+	if len(q.Atoms) == 0 {
+		return Query{}, fmt.Errorf("join: no atoms found")
+	}
+	return q, nil
+}

@@ -1,0 +1,58 @@
+package join
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseQueryPlain(t *testing.T) {
+	q, err := ParseQuery("R(x,y), S(y,z), T(z,x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 3 {
+		t.Fatalf("got %d atoms", len(q.Atoms))
+	}
+	want := Atom{Relation: "S", Vars: []string{"y", "z"}}
+	if !reflect.DeepEqual(q.Atoms[1], want) {
+		t.Fatalf("atom 1 = %+v", q.Atoms[1])
+	}
+}
+
+func TestParseQueryWithHead(t *testing.T) {
+	q, err := ParseQuery("Q(x,y,z) :- R(x, y), S(y ,z).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 2 {
+		t.Fatalf("got %d atoms (head must be dropped)", len(q.Atoms))
+	}
+	if q.Atoms[0].Relation != "R" || q.Atoms[1].Vars[1] != "z" {
+		t.Fatalf("atoms = %+v", q.Atoms)
+	}
+}
+
+func TestParseQuerySelfJoin(t *testing.T) {
+	q, err := ParseQuery("E(x,y), E(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Atoms[0].Relation != "E" || q.Atoms[1].Relation != "E" {
+		t.Fatal("self-join names lost")
+	}
+	h, err := q.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 2 || h.NumVertices() != 3 {
+		t.Fatalf("hypergraph shape: %d edges %d vertices", h.NumEdges(), h.NumVertices())
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	for _, src := range []string{"", "R", "R(", "R()", "R(x,)", "  .  "} {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("ParseQuery(%q) should fail", src)
+		}
+	}
+}

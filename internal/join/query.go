@@ -1,0 +1,87 @@
+package join
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+)
+
+// Atom is one query atom R(x, y, ...): a relation name applied to
+// variables. Repeated variables within an atom are not supported (they
+// can be compiled away by a selection beforehand).
+type Atom struct {
+	Relation string
+	Vars     []string
+}
+
+// Query is a conjunctive query: a conjunction of atoms. All variables
+// are output variables (full CQ); projections can be applied to the
+// result.
+type Query struct {
+	Atoms []Atom
+}
+
+// Database maps relation names to their data.
+type Database map[string]*Relation
+
+// Hypergraph returns the query's hypergraph H_φ (§2 of the paper):
+// vertices are variables, and each atom contributes the edge vars(a).
+// Edge i corresponds to Atoms[i].
+func (q Query) Hypergraph() (*hypergraph.Hypergraph, error) {
+	var b hypergraph.Builder
+	for i, a := range q.Atoms {
+		if len(a.Vars) == 0 {
+			return nil, fmt.Errorf("join: atom %d (%s) has no variables", i, a.Relation)
+		}
+		if err := b.AddEdge(fmt.Sprintf("%s#%d", a.Relation, i), a.Vars...); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// atomRelation returns the atom's data with columns renamed to the
+// query's variables. Repeated variables in the atom are rejected.
+func atomRelation(db Database, a Atom) (*Relation, error) {
+	base, ok := db[a.Relation]
+	if !ok {
+		return nil, fmt.Errorf("join: relation %q not in database", a.Relation)
+	}
+	if len(base.Attrs) != len(a.Vars) {
+		return nil, fmt.Errorf("join: atom %s has %d vars but relation has %d columns",
+			a.Relation, len(a.Vars), len(base.Attrs))
+	}
+	seen := map[string]bool{}
+	for _, v := range a.Vars {
+		if seen[v] {
+			return nil, fmt.Errorf("join: repeated variable %q in atom %s", v, a.Relation)
+		}
+		seen[v] = true
+	}
+	out := NewRelation(a.Vars...)
+	out.Tuples = base.Tuples // shared storage; relations are read-only here
+	return out, nil
+}
+
+// EvaluateNaive joins all atoms left to right — exponential in general,
+// used as the correctness baseline in tests and examples.
+func EvaluateNaive(q Query, db Database) (*Relation, error) {
+	if len(q.Atoms) == 0 {
+		return nil, fmt.Errorf("join: empty query")
+	}
+	acc, err := atomRelation(db, q.Atoms[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range q.Atoms[1:] {
+		r, err := atomRelation(db, a)
+		if err != nil {
+			return nil, err
+		}
+		acc, err = acc.Join(r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc.Dedup(), nil
+}

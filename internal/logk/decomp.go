@@ -1,0 +1,444 @@
+package logk
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/comb"
+	"repro/internal/decomp"
+	"repro/internal/detk"
+	"repro/internal/ext"
+)
+
+// callState is shared by the (possibly parallel) workers of one decomp
+// call. Its parent cache exploits that the [λp]-components of H' depend
+// only on ∪λp — not on the current child candidate — so each distinct
+// parent candidate is analysed once per call instead of once per
+// (λc, λp) pair. The cache is sharded by the union's hash: reads take a
+// shard RLock and use the no-allocation string(buf) map-lookup form,
+// keeping the multi-million-iteration parent loops cheap.
+type callState struct {
+	shards [64]parentShard
+}
+
+type parentShard struct {
+	mu sync.RWMutex
+	m  map[string]*parentInfo
+}
+
+// parentInfo is the cached analysis of one ∪λp: the oversized
+// [λp]-component if any (with its vertex set and forbidden union
+// precomputed, so the shared object is safe to read concurrently).
+type parentInfo struct {
+	compDown *ext.Graph
+	vDown    *bitset.Set
+}
+
+// decomp is the recursive core (Algorithm 2 of the paper, Appendix C),
+// extended to materialise the HD-fragment it finds. It returns the root
+// node of an HD of ⟨g.Edges, g.Specials, conn⟩ in which every special
+// edge of g appears as exactly one placeholder leaf.
+func (s *Solver) decomp(ctx context.Context, w *worker, g *ext.Graph, conn *bitset.Set, allowed []int, depth int) (*decomp.Node, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	s.noteDepth(depth)
+
+	// Base cases (lines 5-10).
+	if len(g.Edges) <= s.Opts.K && len(g.Specials) == 0 {
+		bag := s.H.Union(g.Edges)
+		return decomp.NewNode(g.Edges, bag), true, nil
+	}
+	if len(g.Edges) == 0 {
+		if len(g.Specials) == 1 {
+			sp := g.Specials[0]
+			return decomp.NewSpecialLeaf(sp.ID, sp.Vertices), true, nil
+		}
+		if !s.Opts.NoNegativeBaseCase {
+			// A λ-label of only "old" edges makes no progress (normal
+			// form condition 2), so ≥2 specials cannot be separated.
+			return nil, false, nil
+		}
+	}
+
+	// Hybrid switch (Appendix D.2): small subproblems go to det-k-decomp.
+	if s.Opts.Hybrid != HybridNone && s.metricValue(g) < s.Opts.HybridThreshold {
+		s.stats.hybridCalls.Add(1)
+		if w.detk == nil {
+			w.detk = detk.New(s.H, s.Opts.K)
+		}
+		return w.detk.DecomposeExt(ctx, g, conn)
+	}
+
+	// Negative memo: a content-identical state that previously exhausted
+	// its search space cannot succeed now.
+	var memoKey string
+	var shard *memoShard
+	if !s.Opts.NoCache {
+		w.memoBuf = g.MemoKey(conn, allowed, w.memoBuf[:0])
+		shard = &s.negMemo[fnvShard(w.memoBuf)]
+		shard.mu.RLock()
+		_, dead := shard.m[string(w.memoBuf)] // no-alloc lookup form
+		shard.mu.RUnlock()
+		if dead {
+			s.stats.memoHits.Add(1)
+			return nil, false, nil
+		}
+		memoKey = string(w.memoBuf) // materialise before recursion reuses the buffer
+	}
+
+	node, ok, err := s.searchChild(ctx, w, g, conn, allowed, depth)
+	if err == nil && !ok && !s.Opts.NoCache {
+		// The search space was exhausted cleanly; remember the failure.
+		shard.mu.Lock()
+		if shard.m == nil {
+			shard.m = make(map[string]struct{})
+		}
+		shard.m[memoKey] = struct{}{}
+		shard.mu.Unlock()
+	}
+	return node, ok, err
+}
+
+// fnvShard hashes a key buffer to a shard index.
+func fnvShard(b []byte) int {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return int(h & 63)
+}
+
+// childRange enumerates one rank range of the λ(c) candidate space
+// (ChildLoop, lines 11-21) and returns the first success.
+func (s *Solver) childRange(ctx context.Context, w *worker, cs *callState, g *ext.Graph, conn *bitset.Set, allowed []int, depth int, it *comb.Iter) (*decomp.Node, bool, error) {
+	// isNew[i] marks allowed edges that belong to g.Edges; a candidate
+	// must contain at least one of them (progress condition).
+	fr := w.frame(depth)
+	if cap(fr.childNew) < len(allowed) {
+		fr.childNew = make([]bool, len(allowed))
+	}
+	isNew := fr.childNew[:len(allowed)]
+	for i, e := range allowed {
+		isNew[i] = g.ContainsEdge(e)
+	}
+
+	lambdaC := make([]int, 0, s.Opts.K)
+	unionC := s.H.NewVertexSet()
+	count := 0
+
+	for idxs := it.Next(); idxs != nil; idxs = it.Next() {
+		count++
+		if count&0x3F == 0 {
+			if err := ctx.Err(); err != nil {
+				s.stats.candidates.Add(int64(count))
+				return nil, false, err
+			}
+		}
+		hasNew := false
+		for _, i := range idxs {
+			if isNew[i] {
+				hasNew = true
+				break
+			}
+		}
+		if !hasNew {
+			continue
+		}
+		lambdaC = lambdaC[:0]
+		unionC.Reset()
+		for _, i := range idxs {
+			e := allowed[i]
+			lambdaC = append(lambdaC, e)
+			unionC.InPlaceUnion(s.H.Edge(e))
+		}
+		node, ok, err := s.tryChild(ctx, w, cs, g, conn, allowed, lambdaC, unionC, depth)
+		if err != nil {
+			s.stats.candidates.Add(int64(count))
+			return nil, false, err
+		}
+		if ok {
+			s.stats.candidates.Add(int64(count))
+			return node, true, nil
+		}
+	}
+	s.stats.candidates.Add(int64(count))
+	return nil, false, nil
+}
+
+// tryChild evaluates one λ(c) candidate: the balancedness pre-check, the
+// root-of-fragment case, and the ParentLoop.
+func (s *Solver) tryChild(ctx context.Context, w *worker, cs *callState, g *ext.Graph, conn *bitset.Set, allowed []int, lambdaC []int, unionC *bitset.Set, depth int) (*decomp.Node, bool, error) {
+	total := g.Size()
+
+	// Balancedness pre-check (lines 12-14): if ∪λc does not balance H',
+	// then neither does any χc ⊆ ∪λc derived from it.
+	compsC := w.split.Components(g, unionC)
+	if ext.LargestComponent(compsC, total) >= 0 {
+		return nil, false, nil
+	}
+
+	// Root-of-fragment case (lines 15-21): if λc covers the interface,
+	// node c is the root of the HD-fragment for g — no parent needed.
+	// As root, c is an ancestor of every special's leaf, so λc must
+	// avoid their forbidden vertices (see ext.Special.Forbidden).
+	if conn.SubsetOf(unionC) && !intersectsForbidden(unionC, g.ForbiddenUnion()) {
+		chiC := unionC.Intersect(g.Vertices())
+		children := make([]*decomp.Node, 0, len(compsC))
+		ok := true
+		for _, y := range compsC {
+			connY := y.Vertices().Intersect(chiC)
+			child, childOK, err := s.decomp(ctx, w, y, connY, allowed, depth+1)
+			if err != nil {
+				return nil, false, err
+			}
+			if !childOK {
+				ok = false
+				break
+			}
+			children = append(children, child)
+		}
+		if ok {
+			for _, sp := range g.SpecialsCoveredBy(chiC) {
+				children = append(children, decomp.NewSpecialLeaf(sp.ID, sp.Vertices))
+			}
+			root := decomp.NewNode(lambdaC, chiC)
+			root.Children = children
+			return root, true, nil
+		}
+		// fall through to the ParentLoop: c may still work as a non-root
+		// balanced separator with some parent above it.
+	}
+
+	return s.parentLoop(ctx, w, cs, g, conn, allowed, lambdaC, unionC, depth)
+}
+
+// parentFor returns the cached analysis of one parent candidate ∪λp,
+// computing and publishing it on first use.
+func (s *Solver) parentFor(w *worker, cs *callState, g *ext.Graph, unionP *bitset.Set, total int) *parentInfo {
+	var sh *parentShard
+	if !s.Opts.NoCache {
+		w.keyBuf = unionP.AppendKey(w.keyBuf[:0])
+		sh = &cs.shards[unionP.Hash()&63]
+		sh.mu.RLock()
+		pi := sh.m[string(w.keyBuf)] // no-alloc lookup form
+		sh.mu.RUnlock()
+		if pi != nil {
+			return pi
+		}
+	}
+	compsP := w.split.Components(g, unionP)
+	pi := &parentInfo{}
+	if di := ext.LargestComponent(compsP, total); di >= 0 {
+		pi.compDown = compsP[di]
+		pi.vDown = pi.compDown.Vertices()
+		pi.compDown.ForbiddenUnion() // precompute for lock-free sharing
+	}
+	if !s.Opts.NoCache {
+		sh.mu.Lock()
+		if sh.m == nil {
+			sh.m = make(map[string]*parentInfo)
+		}
+		// Keep one canonical object so the per-λc failure dedup
+		// (pointer-keyed) works across cache races.
+		if prev := sh.m[string(w.keyBuf)]; prev != nil {
+			pi = prev
+		} else {
+			sh.m[string(w.keyBuf)] = pi
+		}
+		sh.mu.Unlock()
+	}
+	return pi
+}
+
+// parentLoop searches for a λ(p) compatible with the chosen λ(c)
+// (lines 22-43 of Algorithm 2).
+func (s *Solver) parentLoop(ctx context.Context, w *worker, cs *callState, g *ext.Graph, conn *bitset.Set, allowed []int, lambdaC []int, unionC *bitset.Set, depth int) (*decomp.Node, bool, error) {
+	// Parent candidates: edges sharing a vertex with ∪λc (Appendix C,
+	// "Speeding up the search for parent λ-labels"); completeness is
+	// preserved (Theorem C.1).
+	fr := w.frame(depth)
+	pool := allowed
+	if !s.Opts.NoParentPoolRestriction {
+		pool = fr.parentPool[:0]
+		for _, e := range allowed {
+			if s.H.Edge(e).Intersects(unionC) {
+				pool = append(pool, e)
+			}
+		}
+		fr.parentPool = pool
+	}
+	if cap(fr.parentNew) < len(pool) {
+		fr.parentNew = make([]bool, len(pool))
+	}
+	isNew := fr.parentNew[:len(pool)]
+	for i, e := range pool {
+		isNew[i] = g.ContainsEdge(e)
+	}
+
+	space := comb.Space{M: len(pool), K: s.Opts.K}
+	it := comb.NewIter(space, 0, space.Total())
+	lambdaP := make([]int, 0, s.Opts.K)
+	unionP := s.H.NewVertexSet()
+	total := g.Size()
+	count := 0
+
+	// Distinct downward components whose recursion already failed for
+	// this λc; different λp producing the same component would repeat
+	// the identical recursion.
+	failed := map[*ext.Graph]bool{}
+
+	for idxs := it.Next(); idxs != nil; idxs = it.Next() {
+		count++
+		if count&0x3F == 0 {
+			if err := ctx.Err(); err != nil {
+				s.stats.parentCands.Add(int64(count))
+				return nil, false, err
+			}
+		}
+		hasNew := false
+		for _, i := range idxs {
+			if isNew[i] {
+				hasNew = true
+				break
+			}
+		}
+		if !hasNew {
+			continue
+		}
+		lambdaP = lambdaP[:0]
+		unionP.Reset()
+		for _, i := range idxs {
+			e := pool[i]
+			lambdaP = append(lambdaP, e)
+			unionP.InPlaceUnion(s.H.Edge(e))
+		}
+
+		pi := s.parentFor(w, cs, g, unionP, total)
+		if pi.compDown == nil {
+			// No oversized [λp]-component: p cannot sit above a balanced
+			// separator child (the root case is handled in tryChild).
+			continue
+		}
+		if failed[pi.compDown] {
+			continue
+		}
+		node, ok, rejectedComp, err := s.tryParent(ctx, w, g, conn, allowed, lambdaC, unionC, unionP, pi, depth)
+		if err != nil {
+			s.stats.parentCands.Add(int64(count))
+			return nil, false, err
+		}
+		if ok {
+			s.stats.parentCands.Add(int64(count))
+			return node, true, nil
+		}
+		if rejectedComp {
+			failed[pi.compDown] = true
+		}
+	}
+	s.stats.parentCands.Add(int64(count))
+	return nil, false, nil
+}
+
+// tryParent evaluates one (λp, λc) pair (lines 23-43). rejectedComp
+// reports that the downward component's recursions failed — a failure
+// that depends only on (compDown, λc), so the caller can skip other λp
+// yielding the same component.
+func (s *Solver) tryParent(ctx context.Context, w *worker, g *ext.Graph, conn *bitset.Set, allowed []int, lambdaC []int, unionC, unionP *bitset.Set, pi *parentInfo, depth int) (*decomp.Node, bool, bool, error) {
+	compDown, vDown := pi.compDown, pi.vDown
+
+	// c becomes an ancestor of the leaf of every special in compDown;
+	// λc must avoid their forbidden vertices (soundness of stitching,
+	// see ext.Special.Forbidden).
+	if intersectsForbidden(unionC, compDown.ForbiddenUnion()) {
+		return nil, false, true, nil
+	}
+
+	// Connectivity check (line 29): the interface vertices lying in the
+	// downward component must be covered by λp.
+	if !conn.Intersect(vDown).SubsetOf(unionP) {
+		return nil, false, false, nil
+	}
+	// χ(c) per normal form condition 3 (line 28).
+	chiC := unionC.Intersect(vDown)
+	// Connectivity check (line 31).
+	if !vDown.Intersect(unionP).SubsetOf(chiC) {
+		return nil, false, false, nil
+	}
+
+	// [χc]-components inside compDown (line 33). By Corollary 3.8 these
+	// coincide with the [λc]-components there, so the balancedness
+	// pre-check in tryChild already bounds their size by total/2.
+	compsC := w.split.Components(compDown, chiC)
+
+	children := make([]*decomp.Node, 0, len(compsC))
+	for _, x := range compsC {
+		connX := x.Vertices().Intersect(chiC)
+		child, ok, err := s.decomp(ctx, w, x, connX, allowed, depth+1)
+		if err != nil {
+			return nil, false, false, err
+		}
+		if !ok {
+			return nil, false, true, nil // reject parent (line 37)
+		}
+		children = append(children, child)
+	}
+
+	// The part above c: everything outside compDown plus χc as a new
+	// special edge (lines 38-40). Everything compDown covers — and
+	// everything that will later be spliced below compDown's own special
+	// leaves — ends up below this new special's leaf, so its Forbidden
+	// set is the union of those vertex sets minus the interface χc.
+	sid := s.nextSpecialID()
+	forbidden := vDown.Clone()
+	for _, sp := range compDown.Specials {
+		if sp.Forbidden != nil {
+			forbidden.InPlaceUnion(sp.Forbidden)
+		}
+	}
+	forbidden.InPlaceDiff(chiC)
+	compUp := g.Subtract(compDown).WithSpecial(ext.Special{ID: sid, Vertices: chiC, Forbidden: forbidden})
+	allowedUp := allowed
+	if !s.Opts.NoAllowedRestriction {
+		allowedUp = ext.DiffSortedInts(allowed, compDown.Edges)
+	}
+	up, ok, err := s.decomp(ctx, w, compUp, conn, allowedUp, depth+1)
+	if err != nil {
+		return nil, false, false, err
+	}
+	if !ok {
+		return nil, false, true, nil // reject parent (line 42)
+	}
+
+	// Stitch: the fragment above has exactly one leaf for special sid;
+	// replace it in place with node c and hang the downward fragments
+	// plus leaves for compDown's specials covered by χc (App. A).
+	leaf := up.FindSpecialLeaf(sid)
+	if leaf == nil {
+		return nil, false, false, fmt.Errorf("logk: internal error: special leaf %d missing after successful recursion", sid)
+	}
+	leaf.SpecialID = decomp.NoSpecial
+	leaf.Lambda = append([]int(nil), lambdaC...)
+	sortInts(leaf.Lambda)
+	leaf.Bag = chiC
+	leaf.Children = children
+	for _, sp := range compDown.SpecialsCoveredBy(chiC) {
+		leaf.Children = append(leaf.Children, decomp.NewSpecialLeaf(sp.ID, sp.Vertices))
+	}
+	return up, true, false, nil
+}
+
+func intersectsForbidden(union, forbidden *bitset.Set) bool {
+	return forbidden != nil && union.Intersects(forbidden)
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,10 @@
+package logk
+
+import (
+	"repro/internal/ext"
+	"repro/internal/hypergraph"
+)
+
+// extRootFor wraps ext.Root for tests (kept separate so test files read
+// naturally).
+func extRootFor(h *hypergraph.Hypergraph) *ext.Graph { return ext.Root(h) }

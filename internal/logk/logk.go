@@ -1,0 +1,270 @@
+// Package logk implements log-k-decomp, the parallel hypertree
+// decomposition algorithm of Gottlob, Lanzinger, Okulmus and Pichler
+// (PODS 2022). The solver decides hw(H) ≤ k and materialises a width-≤k
+// HD on success, with recursion depth logarithmic in |E(H)|
+// (Theorem 4.1).
+//
+// Three variants are provided:
+//
+//   - Solver (this file, decomp.go, parallel.go): the optimised
+//     Algorithm 2 with all Appendix C improvements, parallel search-space
+//     splitting (Appendix D.1) and optional hybridisation with
+//     det-k-decomp (Appendix D.2);
+//   - BasicSolver (basic.go): a faithful transliteration of the basic
+//     Algorithm 1, used as a correctness oracle and ablation baseline.
+//
+// The core recursive step fixes λ-labels for a parent/child node pair
+// (p, c) such that c is a balanced separator of the current extended
+// subhypergraph: every child subtree of c covers at most half of the
+// edges and specials, and the part above c covers strictly less than
+// half. Corollary 3.8 lets χ(c) be derived from λ(p) and λ(c) alone, so
+// subproblems halve and the recursion stack stays logarithmic.
+package logk
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/decomp"
+	"repro/internal/detk"
+	"repro/internal/ext"
+	"repro/internal/hypergraph"
+)
+
+// HybridMetric selects the subproblem-complexity metric that decides when
+// the hybrid solver hands a subproblem to det-k-decomp (Appendix D.2).
+type HybridMetric int
+
+const (
+	// HybridNone disables hybridisation: log-k-decomp all the way down.
+	HybridNone HybridMetric = iota
+	// HybridEdgeCount uses |E(H_i)| as the complexity measure.
+	HybridEdgeCount
+	// HybridWeightedCount uses |E(H_i)| · k / avg_e |e|, weighting edge
+	// count up for high widths and down for large (easily covering) edges.
+	HybridWeightedCount
+)
+
+func (m HybridMetric) String() string {
+	switch m {
+	case HybridNone:
+		return "none"
+	case HybridEdgeCount:
+		return "EdgeCount"
+	case HybridWeightedCount:
+		return "WeightedCount"
+	}
+	return fmt.Sprintf("HybridMetric(%d)", int(m))
+}
+
+// Options configures a Solver.
+type Options struct {
+	// K is the width bound (required, ≥ 1).
+	K int
+	// Workers bounds the number of goroutines searching concurrently.
+	// 1 (or 0) runs fully sequentially.
+	Workers int
+
+	// Hybrid selects the metric for switching to det-k-decomp; threshold
+	// is the switch point: subproblems with metric < HybridThreshold are
+	// handed over (the paper's best configuration is WeightedCount with
+	// thresholds around 400).
+	Hybrid          HybridMetric
+	HybridThreshold float64
+
+	// Ablation toggles. All default to false = optimisation enabled;
+	// they are spelled negatively so the zero Options value is the fully
+	// optimised algorithm.
+
+	// NoAllowedRestriction disables the "allowed edges" parameter A of
+	// Algorithm 2 (every recursion searches λ over all edges of H).
+	NoAllowedRestriction bool
+	// NoParentPoolRestriction disables restricting the λ(p) search to
+	// edges intersecting ∪λ(c) (the last optimisation of Appendix C).
+	NoParentPoolRestriction bool
+	// NoNegativeBaseCase disables the "no edges and ≥2 specials" early
+	// rejection.
+	NoNegativeBaseCase bool
+	// NoCache disables the solver-level negative memoisation of failed
+	// (subhypergraph, interface, allowed) states and the per-call reuse
+	// of parent-candidate components.
+	NoCache bool
+}
+
+// Stats reports search effort, populated during Decompose. Counters are
+// aggregated across workers.
+type Stats struct {
+	Candidates   int64 // λ(c) candidates evaluated
+	ParentCands  int64 // λ(p) candidates evaluated
+	MaxDepth     int64 // deepest Decomp recursion observed
+	HybridCalls  int64 // subproblems delegated to det-k-decomp
+	TokensGrabbd int64 // parallel search-space splits performed
+	MemoHits     int64 // negative-memo hits
+}
+
+// Solver runs the optimised log-k-decomp. Safe for one Decompose call at
+// a time; create a new Solver per concurrent decomposition.
+type Solver struct {
+	H    *hypergraph.Hypergraph
+	Opts Options
+
+	tokens    chan struct{}
+	specialID atomic.Int64
+
+	// negMemo records content-keyed states whose search space was
+	// exhausted without success; see ext.Graph.MemoKey. Sharded maps
+	// with the no-allocation string(buf) lookup form keep the once-per-
+	// decomp-call check cheap.
+	negMemo [64]memoShard
+
+	stats struct {
+		candidates  atomic.Int64
+		parentCands atomic.Int64
+		maxDepth    atomic.Int64
+		hybridCalls atomic.Int64
+		tokenGrabs  atomic.Int64
+		memoHits    atomic.Int64
+	}
+
+	workerPool sync.Pool
+}
+
+// New returns a Solver for h with the given options.
+func New(h *hypergraph.Hypergraph, opts Options) *Solver {
+	if opts.K < 1 {
+		panic("logk: width bound K must be >= 1")
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	s := &Solver{H: h, Opts: opts}
+	s.tokens = make(chan struct{}, opts.Workers-1)
+	for i := 0; i < opts.Workers-1; i++ {
+		s.tokens <- struct{}{}
+	}
+	s.workerPool.New = func() any { return s.makeWorker() }
+	return s
+}
+
+// Stats returns a snapshot of the effort counters.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Candidates:   s.stats.candidates.Load(),
+		ParentCands:  s.stats.parentCands.Load(),
+		MaxDepth:     s.stats.maxDepth.Load(),
+		HybridCalls:  s.stats.hybridCalls.Load(),
+		TokensGrabbd: s.stats.tokenGrabs.Load(),
+		MemoHits:     s.stats.memoHits.Load(),
+	}
+}
+
+// Decompose checks hw(H) ≤ K and returns a valid HD of width ≤ K when it
+// holds. On timeout/cancellation it returns the context's error.
+func (s *Solver) Decompose(ctx context.Context) (*decomp.Decomp, bool, error) {
+	g := ext.Root(s.H)
+	conn := s.H.NewVertexSet()
+	allowed := s.H.AllEdgeIDs()
+	w := s.getWorker()
+	defer s.putWorker(w)
+	node, ok, err := s.decomp(ctx, w, g, conn, allowed, 1)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return &decomp.Decomp{H: s.H, Root: node}, true, nil
+}
+
+// Decide is Decompose without materialising the decomposition.
+func (s *Solver) Decide(ctx context.Context) (bool, error) {
+	_, ok, err := s.Decompose(ctx)
+	return ok, err
+}
+
+// worker carries per-goroutine scratch state.
+type worker struct {
+	split *ext.Splitter
+	detk  *detk.Solver // lazily created, hybrid mode only
+
+	// keyBuf is filled and consumed within a single parentFor call (no
+	// recursion in between), so one per worker suffices.
+	keyBuf []byte
+
+	// memoBuf is the reusable MemoKey build buffer; the key is
+	// materialised as a string before any recursion can reuse the buffer.
+	memoBuf []byte
+
+	// frames holds per-recursion-depth scratch: the candidate loops at
+	// depth d keep slices alive across recursive calls at depth d+1, so
+	// scratch must not be shared between depths.
+	frames []frameScratch
+}
+
+// memoShard is one shard of the negative memo.
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[string]struct{}
+}
+
+// frameScratch is reusable loop scratch for one recursion depth.
+type frameScratch struct {
+	childNew   []bool
+	parentPool []int
+	parentNew  []bool
+}
+
+// frame returns the scratch for the given depth, growing the stack as
+// needed.
+func (w *worker) frame(depth int) *frameScratch {
+	for len(w.frames) <= depth {
+		w.frames = append(w.frames, frameScratch{})
+	}
+	return &w.frames[depth]
+}
+
+func (s *Solver) makeWorker() *worker {
+	return &worker{split: ext.NewSplitter(s.H)}
+}
+
+func (s *Solver) getWorker() *worker  { return s.workerPool.Get().(*worker) }
+func (s *Solver) putWorker(w *worker) { s.workerPool.Put(w) }
+
+func (s *Solver) nextSpecialID() int {
+	return int(s.specialID.Add(1))
+}
+
+func (s *Solver) noteDepth(depth int) {
+	d := int64(depth)
+	for {
+		cur := s.stats.maxDepth.Load()
+		if cur >= d || s.stats.maxDepth.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// metricValue computes the hybrid complexity metric for a subproblem.
+func (s *Solver) metricValue(g *ext.Graph) float64 {
+	switch s.Opts.Hybrid {
+	case HybridEdgeCount:
+		return float64(g.Size())
+	case HybridWeightedCount:
+		total := 0
+		for _, e := range g.Edges {
+			total += s.H.Edge(e).Len()
+		}
+		for _, sp := range g.Specials {
+			total += sp.Vertices.Len()
+		}
+		if g.Size() == 0 {
+			return 0
+		}
+		avg := float64(total) / float64(g.Size())
+		if avg == 0 {
+			return 0
+		}
+		return float64(g.Size()) * float64(s.Opts.K) / avg
+	default:
+		return 0
+	}
+}

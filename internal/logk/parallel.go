@@ -1,0 +1,108 @@
+package logk
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/bitset"
+	"repro/internal/comb"
+	"repro/internal/decomp"
+	"repro/internal/ext"
+)
+
+// minParallelSpace is the smallest candidate-space size worth splitting
+// across goroutines; below it, coordination overhead dominates.
+const minParallelSpace = 64
+
+// searchChild runs the ChildLoop over the full candidate space, splitting
+// it across workers when tokens are available (Appendix D.1: the search
+// space for balanced separators is partitioned uniformly over the
+// available cores, with no communication until first success).
+func (s *Solver) searchChild(ctx context.Context, w *worker, g *ext.Graph, conn *bitset.Set, allowed []int, depth int) (*decomp.Node, bool, error) {
+	space := comb.Space{M: len(allowed), K: s.Opts.K}
+	total := space.Total()
+	cs := &callState{}
+
+	extra := 0
+	if s.Opts.Workers > 1 && total >= minParallelSpace {
+		extra = s.grabTokens(s.Opts.Workers - 1)
+	}
+	if extra == 0 {
+		it := comb.NewIter(space, 0, total)
+		return s.childRange(ctx, w, cs, g, conn, allowed, depth, it)
+	}
+	defer s.releaseTokens(extra)
+	s.stats.tokenGrabs.Add(1)
+
+	// Force g's lazy caches before sharing it across goroutines.
+	g.Vertices()
+	g.ForbiddenUnion()
+
+	iters := comb.Split(space, extra+1)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		node *decomp.Node
+		ok   bool
+		err  error
+	}
+	results := make(chan result, len(iters)-1)
+	for _, it := range iters[1:] {
+		go func(it *comb.Iter) {
+			nw := s.getWorker()
+			defer s.putWorker(nw)
+			node, ok, err := s.childRange(cctx, nw, cs, g, conn, allowed, depth, it)
+			results <- result{node, ok, err}
+		}(it)
+	}
+
+	node, ok, err := s.childRange(cctx, w, cs, g, conn, allowed, depth, iters[0])
+	if ok {
+		cancel() // siblings are redundant now
+	}
+	var firstErr error = err
+	foundNode, found := node, ok
+	for range iters[1:] {
+		r := <-results
+		if r.ok && !found {
+			found = true
+			foundNode = r.node
+			cancel()
+		}
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	if found {
+		return foundNode, true, nil
+	}
+	// Distinguish "our cancel" from a real deadline/cancellation above us.
+	if outerErr := ctx.Err(); outerErr != nil {
+		return nil, false, outerErr
+	}
+	if firstErr != nil && !errors.Is(firstErr, context.Canceled) {
+		return nil, false, firstErr
+	}
+	return nil, false, nil
+}
+
+// grabTokens takes up to max worker tokens without blocking.
+func (s *Solver) grabTokens(max int) int {
+	got := 0
+	for got < max {
+		select {
+		case <-s.tokens:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+func (s *Solver) releaseTokens(n int) {
+	for i := 0; i < n; i++ {
+		s.tokens <- struct{}{}
+	}
+}

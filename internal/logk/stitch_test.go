@@ -1,0 +1,117 @@
+package logk
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/detk"
+	"repro/internal/hypergraph"
+)
+
+// ladder builds the 2×n ladder from the benchmark generator: two rails
+// plus rungs every other position. Its hypertree width is 2, and at
+// k = 3 the extra label slack exposed a stitching soundness bug: a node
+// in the "up" fragment chose a λ-edge containing a vertex of the spliced
+// "down" region outside χ(c), violating the special condition in the
+// assembled tree. These tests pin the fix (ext.Special.Forbidden).
+func ladder(n int) *hypergraph.Hypergraph {
+	var b hypergraph.Builder
+	for i := 0; i+1 < n; i++ {
+		b.MustAddEdge("", "a"+strconv.Itoa(i), "a"+strconv.Itoa(i+1))
+		b.MustAddEdge("", "b"+strconv.Itoa(i), "b"+strconv.Itoa(i+1))
+	}
+	for i := 0; i < n; i += 2 {
+		b.MustAddEdge("", "a"+strconv.Itoa(i), "b"+strconv.Itoa(i))
+	}
+	return b.Build()
+}
+
+// TestStitchSoundnessLadderHybrid is the regression test for the exact
+// failure first caught by the Table 1 bench: hybrid, k = 3, ladder.
+func TestStitchSoundnessLadderHybrid(t *testing.T) {
+	ctx := context.Background()
+	for _, n := range []int{12, 24, 44} {
+		h := ladder(n)
+		for k := 2; k <= 3; k++ {
+			s := New(h, Options{K: k, Hybrid: HybridWeightedCount, HybridThreshold: 40})
+			d, ok, err := s.Decompose(ctx)
+			if err != nil {
+				t.Fatalf("ladder(%d) k=%d: %v", n, k, err)
+			}
+			if !ok {
+				t.Fatalf("ladder(%d) k=%d: should be decomposable (hw=2)", n, k)
+			}
+			if err := decomp.CheckHD(d); err != nil {
+				t.Fatalf("ladder(%d) k=%d: invalid HD: %v", n, k, err)
+			}
+		}
+	}
+}
+
+// TestStitchSoundnessAboveWidth runs all solvers with k strictly above
+// the optimal width — the regime where λ-label slack makes unsound
+// stitching likely — and validates every output.
+func TestStitchSoundnessAboveWidth(t *testing.T) {
+	ctx := context.Background()
+	graphs := map[string]*hypergraph.Hypergraph{
+		"ladder16": ladder(16),
+		"cycle14":  cycle(14),
+		"grid3":    grid(3),
+	}
+	for name, h := range graphs {
+		for k := 2; k <= 4; k++ {
+			for _, mode := range []string{"plain", "parallel", "hybrid"} {
+				var o Options
+				switch mode {
+				case "plain":
+					o = Options{K: k}
+				case "parallel":
+					o = Options{K: k, Workers: 8}
+				case "hybrid":
+					o = Options{K: k, Hybrid: HybridEdgeCount, HybridThreshold: 10}
+				}
+				s := New(h, o)
+				d, ok, err := s.Decompose(ctx)
+				if err != nil {
+					t.Fatalf("%s k=%d %s: %v", name, k, mode, err)
+				}
+				if !ok {
+					t.Fatalf("%s k=%d %s: expected success", name, k, mode)
+				}
+				if err := decomp.CheckHD(d); err != nil {
+					t.Fatalf("%s k=%d %s: invalid HD: %v\n%s", name, k, mode, err, d)
+				}
+				if err := decomp.CheckWidth(d, k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// det-k above width, for the same reason.
+			d, ok, err := detk.New(h, k).Decompose(ctx)
+			if err != nil || !ok {
+				t.Fatalf("%s k=%d detk: ok=%v err=%v", name, k, ok, err)
+			}
+			if err := decomp.CheckHD(d); err != nil {
+				t.Fatalf("%s k=%d detk: invalid HD: %v", name, k, err)
+			}
+		}
+	}
+}
+
+// TestStitchSoundnessBasicSolver covers the Algorithm 1 transliteration
+// in the same above-width regime (small sizes; it is slow).
+func TestStitchSoundnessBasicSolver(t *testing.T) {
+	ctx := context.Background()
+	for _, h := range []*hypergraph.Hypergraph{ladder(6), cycle(7)} {
+		for k := 2; k <= 3; k++ {
+			d, ok, err := NewBasic(h, k).Decompose(ctx)
+			if err != nil || !ok {
+				t.Fatalf("k=%d: ok=%v err=%v", k, ok, err)
+			}
+			if err := decomp.CheckHD(d); err != nil {
+				t.Fatalf("k=%d: invalid HD: %v\n%s", k, err, d)
+			}
+		}
+	}
+}
