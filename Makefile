@@ -1,0 +1,36 @@
+# Local targets mirror .github/workflows/ci.yml one to one, so a green
+# `make ci` means a green CI run.
+
+GO ?= go
+
+.PHONY: all build fmt fmt-check vet test race bench serve ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+serve:
+	$(GO) run ./cmd/htdserve
+
+ci: fmt-check vet build race bench

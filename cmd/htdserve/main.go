@@ -1,0 +1,86 @@
+// Command htdserve serves hypertree decompositions over HTTP, backed by
+// htd.Service: a shared worker-token budget, admission control with
+// per-job timeouts, and a cross-request negative-memo cache.
+//
+// Usage:
+//
+//	htdserve -addr :8080 [-budget 8] [-max-concurrent 8] [-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /decompose  one job; JSON body {"hypergraph":"r1(x,y), ...","k":2}
+//	POST /batch      NDJSON job lines in, NDJSON results out (streamed,
+//	                 input order)
+//	GET  /healthz    liveness probe
+//	GET  /stats      service counters (jobs, tokens, memo cache, solver)
+//
+// Try it:
+//
+//	curl -s localhost:8080/decompose -d '{"hypergraph":"r1(x,y), r2(y,z), r3(z,x).","k":2}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	htd "repro"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		budget     = flag.Int("budget", 0, "global extra-worker token budget (0 = GOMAXPROCS-1)")
+		maxConc    = flag.Int("max-concurrent", 0, "max jobs decomposing at once (0 = GOMAXPROCS)")
+		maxQueue   = flag.Int("max-queue", 0, "max jobs waiting before rejection (0 = 64)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-job timeout (0 = none)")
+		memoGraphs = flag.Int("memo-graphs", 0, "distinct (hypergraph, k) memo tables cached (0 = 32)")
+		memoEntry  = flag.Int("memo-entries", 0, "memoised states per table (0 = 1<<20)")
+	)
+	flag.Parse()
+
+	cfg := htd.ServiceConfig{
+		TokenBudget:    *budget,
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *timeout,
+		MemoMaxGraphs:  *memoGraphs,
+		MemoMaxEntries: *memoEntry,
+	}
+	svc := htd.NewService(cfg)
+	httpSrv := &http.Server{
+		Addr: *addr,
+		// The batch limit mirrors the service's effective concurrency so
+		// /batch feeds it at full rate without tripping admission control.
+		Handler:           newHandler(svc, svc.Config().MaxConcurrent),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "htdserve: listening on %s\n", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "htdserve: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "htdserve: shutdown: %v\n", err)
+		}
+		svc.Close()
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "htdserve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	htd "repro"
+)
+
+// apiRequest is the JSON body of POST /decompose and one NDJSON line of
+// POST /batch.
+type apiRequest struct {
+	// Hypergraph in HyperBench syntax: name(v1,v2,...) terms separated
+	// by commas.
+	Hypergraph string `json:"hypergraph"`
+	// K is the width bound (required, ≥ 1).
+	K int `json:"k"`
+	// Workers caps this job's search parallelism (0 = service default).
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS tightens the server's per-job timeout in milliseconds
+	// (it cannot exceed the server's -timeout).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Hybrid selects det-k-decomp hybridisation: "none", "edges" or
+	// "weighted"; HybridThreshold is the switch point.
+	Hybrid          string  `json:"hybrid,omitempty"`
+	HybridThreshold float64 `json:"hybrid_threshold,omitempty"`
+	// Render asks for the indented tree rendering in the response.
+	Render bool `json:"render,omitempty"`
+}
+
+// apiNode is one decomposition node in a response, with edge and vertex
+// names resolved.
+type apiNode struct {
+	Lambda   []string   `json:"lambda"`
+	Bag      []string   `json:"bag"`
+	Children []*apiNode `json:"children,omitempty"`
+}
+
+// apiResponse is the JSON result of one job.
+type apiResponse struct {
+	OK          bool             `json:"ok"`
+	Width       int              `json:"width,omitempty"`
+	Nodes       int              `json:"nodes,omitempty"`
+	Tree        *apiNode         `json:"tree,omitempty"`
+	Rendering   string           `json:"rendering,omitempty"`
+	ElapsedMS   float64          `json:"elapsed_ms"`
+	CacheShared bool             `json:"cache_shared"`
+	Stats       *htd.SolverStats `json:"stats,omitempty"`
+	Error       string           `json:"error,omitempty"`
+	TimedOut    bool             `json:"timed_out,omitempty"`
+
+	// err keeps the underlying error for status-code mapping; the wire
+	// carries only Error.
+	err error
+}
+
+// errBadRequest marks responses for jobs that never ran because the
+// request itself was invalid.
+var errBadRequest = errors.New("bad request")
+
+// server wires an htd.Service into HTTP handlers.
+type server struct {
+	svc *htd.Service
+	// batchLimit bounds how many lines of one batch are in flight at
+	// once, so a large batch queues inside the handler instead of
+	// tripping the service's admission control.
+	batchLimit int
+	started    time.Time
+}
+
+func newHandler(svc *htd.Service, batchLimit int) http.Handler {
+	if batchLimit < 1 {
+		batchLimit = 1
+	}
+	s := &server{svc: svc, batchLimit: batchLimit, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /decompose", s.handleDecompose)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// parseRequest turns an API request into a service request.
+func parseRequest(a apiRequest) (htd.ServiceRequest, error) {
+	var req htd.ServiceRequest
+	if strings.TrimSpace(a.Hypergraph) == "" {
+		return req, errors.New("missing \"hypergraph\"")
+	}
+	if a.K < 1 {
+		return req, errors.New("\"k\" must be >= 1")
+	}
+	if a.TimeoutMS < 0 {
+		return req, errors.New("\"timeout_ms\" must be >= 0")
+	}
+	h, err := htd.ParseString(a.Hypergraph)
+	if err != nil {
+		return req, fmt.Errorf("parse hypergraph: %w", err)
+	}
+	req = htd.ServiceRequest{
+		H:               h,
+		K:               a.K,
+		Workers:         a.Workers,
+		Timeout:         time.Duration(a.TimeoutMS) * time.Millisecond,
+		HybridThreshold: a.HybridThreshold,
+	}
+	switch a.Hybrid {
+	case "", "none":
+	case "edges":
+		req.Hybrid = htd.HybridEdgeCount
+	case "weighted":
+		req.Hybrid = htd.HybridWeightedCount
+	default:
+		return req, fmt.Errorf("unknown hybrid metric %q (want none, edges or weighted)", a.Hybrid)
+	}
+	return req, nil
+}
+
+// runJob submits one parsed request and shapes the result for the wire.
+func (s *server) runJob(ctx context.Context, a apiRequest) *apiResponse {
+	req, err := parseRequest(a)
+	if err != nil {
+		return &apiResponse{Error: err.Error(), err: errBadRequest}
+	}
+	res := s.svc.Submit(ctx, req)
+	resp := &apiResponse{
+		OK:          res.OK,
+		ElapsedMS:   float64(res.Elapsed) / float64(time.Millisecond),
+		CacheShared: res.CacheShared,
+		Stats:       &res.Stats,
+	}
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+		resp.err = res.Err
+		resp.TimedOut = errors.Is(res.Err, context.DeadlineExceeded)
+		return resp
+	}
+	if res.OK {
+		resp.Width = res.Decomp.Width()
+		resp.Nodes = res.Decomp.NumNodes()
+		resp.Tree = toAPINode(res.Decomp, res.Decomp.Root)
+		if a.Render {
+			resp.Rendering = res.Decomp.String()
+		}
+	}
+	return resp
+}
+
+func toAPINode(d *htd.Decomposition, n *htd.Node) *apiNode {
+	out := &apiNode{Lambda: make([]string, len(n.Lambda))}
+	for i, e := range n.Lambda {
+		out.Lambda[i] = d.H.EdgeName(e)
+	}
+	n.Bag.ForEach(func(v int) { out.Bag = append(out.Bag, d.H.VertexName(v)) })
+	for _, c := range n.Children {
+		out.Children = append(out.Children, toAPINode(d, c))
+	}
+	return out
+}
+
+func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
+	var a apiRequest
+	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	resp := s.runJob(r.Context(), a)
+	status := http.StatusOK
+	switch {
+	case errors.Is(resp.err, errBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(resp.err, htd.ErrOverloaded):
+		status = http.StatusTooManyRequests
+	case errors.Is(resp.err, htd.ErrServiceClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleBatch reads NDJSON requests and streams NDJSON responses in
+// input order, each line flushed as soon as its job finishes.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+
+	// pending preserves input order; the writer drains one result
+	// channel at a time while jobs run concurrently behind it.
+	pending := make(chan chan *apiResponse, s.batchLimit)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ch := range pending {
+			enc.Encode(<-ch)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}()
+
+	sem := make(chan struct{}, s.batchLimit)
+	scanner := bufio.NewScanner(r.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		ch := make(chan *apiResponse, 1)
+		pending <- ch
+		var a apiRequest
+		if err := json.Unmarshal(line, &a); err != nil {
+			ch <- &apiResponse{Error: "invalid JSON: " + err.Error()}
+			continue
+		}
+		sem <- struct{}{}
+		go func(a apiRequest) {
+			defer func() { <-sem }()
+			ch <- s.runJob(r.Context(), a)
+		}(a)
+	}
+	close(pending)
+	<-done
+	if err := scanner.Err(); err != nil {
+		// Too late for a status code; the truncated stream tells the
+		// client the batch did not complete.
+		return
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	htd "repro"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *htd.Service) {
+	t.Helper()
+	svc := htd.NewService(htd.ServiceConfig{
+		TokenBudget:    2,
+		MaxConcurrent:  4,
+		MaxQueue:       64,
+		DefaultTimeout: 30 * time.Second,
+	})
+	ts := httptest.NewServer(newHandler(svc, 4))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts, svc
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, apiResponse) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out apiResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp, out
+}
+
+func TestServeDecomposeEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// Width-2 triangle: expect a valid tree and a width of 2.
+	resp, out := postJSON(t, ts.URL+"/decompose",
+		`{"hypergraph":"r1(x,y), r2(y,z), r3(z,x).","k":2,"render":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !out.OK || out.Width != 2 || out.Tree == nil {
+		t.Fatalf("unexpected result: %+v", out)
+	}
+	if len(out.Tree.Lambda) == 0 || len(out.Tree.Bag) == 0 {
+		t.Fatalf("tree not resolved to names: %+v", out.Tree)
+	}
+	if !strings.Contains(out.Rendering, "lambda=") {
+		t.Fatalf("rendering missing: %q", out.Rendering)
+	}
+	if out.Stats == nil || out.Stats.Candidates == 0 {
+		t.Fatalf("solver stats missing: %+v", out.Stats)
+	}
+
+	// Same structure again: the cross-request memo table must be found.
+	_, again := postJSON(t, ts.URL+"/decompose",
+		`{"hypergraph":"r1(x,y), r2(y,z), r3(z,x).","k":2}`)
+	if !again.CacheShared {
+		t.Fatalf("second identical request should share the memo cache: %+v", again)
+	}
+
+	// Definitive NO is a 200 with ok=false and no error.
+	resp, no := postJSON(t, ts.URL+"/decompose",
+		`{"hypergraph":"r1(x,y), r2(y,z), r3(z,x).","k":1}`)
+	if resp.StatusCode != http.StatusOK || no.OK || no.Error != "" {
+		t.Fatalf("k=1 triangle: status=%d %+v", resp.StatusCode, no)
+	}
+
+	// Bad inputs are 400s.
+	for _, body := range []string{
+		`{"hypergraph":"r1(x,y).","k":0}`,
+		`{"k":2}`,
+		`{"hypergraph":"not a ( graph","k":2}`,
+		`{invalid json`,
+	} {
+		resp, _ := postJSON(t, ts.URL+"/decompose", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestServeBatchStreamsInOrder(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	lines := []string{
+		`{"hypergraph":"r1(x,y), r2(y,z), r3(z,x).","k":2}`,
+		`{"hypergraph":"r1(x,y), r2(y,z), r3(z,x).","k":1}`,
+		`{"bad":`,
+		`{"hypergraph":"p1(a,b), p2(b,c).","k":1}`,
+	}
+	resp, err := http.Post(ts.URL+"/batch", "application/x-ndjson",
+		strings.NewReader(strings.Join(lines, "\n")+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	var results []apiResponse
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var r apiResponse
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %d: %v", len(results), err)
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(lines) {
+		t.Fatalf("got %d results for %d lines", len(results), len(lines))
+	}
+	if !results[0].OK || results[0].Width != 2 {
+		t.Fatalf("line 0: %+v", results[0])
+	}
+	if results[1].OK || results[1].Error != "" {
+		t.Fatalf("line 1 should be a definitive NO: %+v", results[1])
+	}
+	if results[2].Error == "" {
+		t.Fatalf("line 2 should be a parse error: %+v", results[2])
+	}
+	if !results[3].OK || results[3].Width != 1 {
+		t.Fatalf("line 3: %+v", results[3])
+	}
+}
+
+func TestServeHealthzAndStats(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("healthz: %v", health)
+	}
+
+	// Drive some traffic, then check the counters moved.
+	postJSON(t, ts.URL+"/decompose", `{"hypergraph":"r1(x,y), r2(y,z), r3(z,x).","k":2}`)
+	postJSON(t, ts.URL+"/decompose", `{"hypergraph":"r1(x,y), r2(y,z), r3(z,x).","k":2}`)
+
+	resp2, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st htd.ServiceStats
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Submitted < 2 || st.Completed < 2 {
+		t.Fatalf("stats did not count jobs: %+v", st)
+	}
+	if st.CacheReuses == 0 {
+		t.Fatalf("identical requests should reuse the memo cache: %+v", st)
+	}
+	if st.TokenBudget != 2 {
+		t.Fatalf("token budget %d, want 2", st.TokenBudget)
+	}
+}

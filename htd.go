@@ -34,6 +34,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/logk"
 	"repro/internal/opt"
+	"repro/internal/service"
 )
 
 // Hypergraph is an immutable hypergraph; construct one with a Builder or
@@ -116,6 +117,36 @@ func DecomposeGHD(ctx context.Context, h *Hypergraph, k, subedgeOrder int) (*Dec
 func OptimalWidth(ctx context.Context, h *Hypergraph, maxK int) (int, *Decomposition, bool, error) {
 	return opt.New(h, maxK).Solve(ctx)
 }
+
+// Service runs decompositions as a managed concurrent service: jobs
+// submitted from any number of goroutines share one global worker-token
+// budget, pass admission control with per-job timeouts, and reuse a
+// cross-request negative-memo cache keyed by hypergraph content hash.
+// Create one with NewService; see ServiceConfig for sizing.
+type Service = service.Service
+
+// ServiceConfig sizes a Service; the zero value picks sensible defaults.
+type ServiceConfig = service.Config
+
+// ServiceRequest is one decomposition job for a Service.
+type ServiceRequest = service.Request
+
+// ServiceResult is the outcome of one Service job.
+type ServiceResult = service.Result
+
+// ServiceStats is a snapshot of Service-wide counters.
+type ServiceStats = service.Stats
+
+// Service sentinel errors.
+var (
+	// ErrOverloaded: the job was rejected by admission control.
+	ErrOverloaded = service.ErrOverloaded
+	// ErrServiceClosed: the job was submitted after Close.
+	ErrServiceClosed = service.ErrClosed
+)
+
+// NewService returns a decomposition service. Close it when done.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 
 // Validate checks the four HD conditions (including the special
 // condition) and returns nil iff d is a valid hypertree decomposition

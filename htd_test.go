@@ -3,6 +3,7 @@ package htd
 import (
 	"context"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -95,5 +96,57 @@ func TestBuilderPublic(t *testing.T) {
 	}
 	if !strings.Contains(d.String(), "lambda=") {
 		t.Fatal("rendering broken")
+	}
+}
+
+// TestServicePublicAPI drives htd.Service end to end: 32 concurrent
+// submissions over a shared budget, then a batch, then stats.
+func TestServicePublicAPI(t *testing.T) {
+	svc := NewService(ServiceConfig{TokenBudget: 2, MaxConcurrent: 8, MaxQueue: 128})
+	defer svc.Close()
+
+	h, err := ParseString(triangleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 32
+	results := make([]ServiceResult, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = svc.Submit(context.Background(), ServiceRequest{H: h, K: 2})
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.Err != nil || !r.OK {
+			t.Fatalf("job %d: ok=%v err=%v", i, r.OK, r.Err)
+		}
+		if err := Validate(r.Decomp); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+
+	batch := svc.Batch(context.Background(), []ServiceRequest{
+		{H: h, K: 2}, {H: h, K: 1},
+	})
+	if batch[0].Err != nil || !batch[0].OK {
+		t.Fatalf("batch[0]: ok=%v err=%v", batch[0].OK, batch[0].Err)
+	}
+	if batch[1].Err != nil || batch[1].OK {
+		t.Fatalf("batch[1]: triangle at k=1 must be rejected (ok=%v err=%v)", batch[1].OK, batch[1].Err)
+	}
+
+	st := svc.Stats()
+	if st.Completed != jobs+2 {
+		t.Fatalf("completed %d, want %d", st.Completed, jobs+2)
+	}
+	if st.TokensHighWater > st.TokenBudget {
+		t.Fatalf("budget exceeded: %d > %d", st.TokensHighWater, st.TokenBudget)
+	}
+	if st.CacheReuses == 0 {
+		t.Fatal("identical submissions should reuse the memo cache")
 	}
 }

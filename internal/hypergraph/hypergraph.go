@@ -10,9 +10,13 @@
 package hypergraph
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 )
@@ -25,6 +29,10 @@ type Hypergraph struct {
 	edgeNames   []string
 	edges       []*bitset.Set // edge id -> vertex set
 	incidence   [][]int       // vertex id -> sorted edge ids containing it
+
+	// contentHash caches ContentHash; safe because the structure is
+	// immutable after Build (racing computations agree on the value).
+	contentHash atomic.Pointer[string]
 }
 
 // Builder accumulates edges and produces a Hypergraph. The zero value is
@@ -160,6 +168,32 @@ func (h *Hypergraph) Vertices() *bitset.Set {
 		s.InPlaceUnion(e)
 	}
 	return s
+}
+
+// ContentHash returns a hex digest of the hypergraph's structure: the
+// vertex count plus the vertex set of every edge, in edge-id order.
+// Names are ignored — two hypergraphs with identical edge bitsets over
+// the same id space hash equally, and because all solver memo keys are
+// id-based, their memoised search states are interchangeable. The
+// service layer keys its cross-request caches on this digest.
+func (h *Hypergraph) ContentHash() string {
+	if p := h.contentHash.Load(); p != nil {
+		return *p
+	}
+	d := sha256.New()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(h.vertexNames)))
+	d.Write(hdr[:])
+	var key []byte
+	for _, e := range h.edges {
+		key = e.AppendKey(key[:0])
+		binary.LittleEndian.PutUint64(hdr[:], uint64(len(key)))
+		d.Write(hdr[:])
+		d.Write(key)
+	}
+	sum := hex.EncodeToString(d.Sum(nil))
+	h.contentHash.Store(&sum)
+	return sum
 }
 
 // EdgeVertices returns the sorted vertex ids of edge i.

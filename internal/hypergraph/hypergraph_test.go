@@ -343,3 +343,51 @@ func TestQuickParseStringRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestContentHash(t *testing.T) {
+	build := func(f func(*Builder)) *Hypergraph {
+		var b Builder
+		f(&b)
+		return b.Build()
+	}
+	base := build(func(b *Builder) {
+		b.MustAddEdge("r1", "x", "y")
+		b.MustAddEdge("r2", "y", "z")
+	})
+
+	// Names are ignored: same structure under renaming hashes equally.
+	renamed := build(func(b *Builder) {
+		b.MustAddEdge("other1", "a", "b")
+		b.MustAddEdge("other2", "b", "c")
+	})
+	if base.ContentHash() != renamed.ContentHash() {
+		t.Error("renaming vertices/edges changed the content hash")
+	}
+
+	// Any structural change must change the hash.
+	moreEdges := build(func(b *Builder) {
+		b.MustAddEdge("r1", "x", "y")
+		b.MustAddEdge("r2", "y", "z")
+		b.MustAddEdge("r3", "z", "x")
+	})
+	moreVerts := build(func(b *Builder) {
+		b.MustAddEdge("r1", "x", "y")
+		b.MustAddEdge("r2", "y", "z", "w")
+	})
+	reordered := build(func(b *Builder) {
+		b.MustAddEdge("r2", "y", "z")
+		b.MustAddEdge("r1", "x", "y")
+	})
+	for name, h := range map[string]*Hypergraph{
+		"extra edge": moreEdges, "extra vertex": moreVerts, "edge order": reordered,
+	} {
+		if h.ContentHash() == base.ContentHash() {
+			t.Errorf("%s: content hash did not change", name)
+		}
+	}
+
+	// Deterministic across calls.
+	if base.ContentHash() != base.ContentHash() {
+		t.Error("content hash not deterministic")
+	}
+}

@@ -75,14 +75,9 @@ func (s *Solver) decomp(ctx context.Context, w *worker, g *ext.Graph, conn *bits
 	// Negative memo: a content-identical state that previously exhausted
 	// its search space cannot succeed now.
 	var memoKey string
-	var shard *memoShard
 	if !s.Opts.NoCache {
 		w.memoBuf = g.MemoKey(conn, allowed, w.memoBuf[:0])
-		shard = &s.negMemo[fnvShard(w.memoBuf)]
-		shard.mu.RLock()
-		_, dead := shard.m[string(w.memoBuf)] // no-alloc lookup form
-		shard.mu.RUnlock()
-		if dead {
+		if s.memo.Lookup(w.memoBuf) {
 			s.stats.memoHits.Add(1)
 			return nil, false, nil
 		}
@@ -92,24 +87,9 @@ func (s *Solver) decomp(ctx context.Context, w *worker, g *ext.Graph, conn *bits
 	node, ok, err := s.searchChild(ctx, w, g, conn, allowed, depth)
 	if err == nil && !ok && !s.Opts.NoCache {
 		// The search space was exhausted cleanly; remember the failure.
-		shard.mu.Lock()
-		if shard.m == nil {
-			shard.m = make(map[string]struct{})
-		}
-		shard.m[memoKey] = struct{}{}
-		shard.mu.Unlock()
+		s.memo.Insert(memoKey)
 	}
 	return node, ok, err
-}
-
-// fnvShard hashes a key buffer to a shard index.
-func fnvShard(b []byte) int {
-	h := uint32(2166136261)
-	for _, c := range b {
-		h ^= uint32(c)
-		h *= 16777619
-	}
-	return int(h & 63)
 }
 
 // childRange enumerates one rank range of the λ(c) candidate space

@@ -1,0 +1,140 @@
+package logk
+
+import "sync"
+
+// TokenSource supplies the extra-worker tokens that parallel search
+// splits draw from (Appendix D.1). A Solver created without one gets a
+// private source sized to Options.Workers-1; a serving layer can instead
+// inject a budget shared across many concurrent Solvers so the process
+// never oversubscribes its cores. Implementations must be safe for
+// concurrent use.
+type TokenSource interface {
+	// TryAcquire takes up to max tokens without blocking and returns how
+	// many it got (0..max).
+	TryAcquire(max int) int
+	// Release returns n previously acquired tokens.
+	Release(n int)
+}
+
+// MemoBackend stores the negative memo: content keys of states whose
+// search space was exhausted without success (see ext.Graph.MemoKey).
+// Keys are pure content — safe to share across Solvers of the same
+// hypergraph and width bound, which is how a serving layer turns the
+// memo into a cross-request cache. Implementations must be safe for
+// concurrent use.
+type MemoBackend interface {
+	// Lookup reports whether key is a known-dead state. The slice is
+	// only valid for the duration of the call.
+	Lookup(key []byte) bool
+	// Insert records key as dead. Implementations may drop inserts
+	// (e.g. when full): the memo is a pure acceleration.
+	Insert(key string)
+}
+
+// chanTokens is the default TokenSource: a private channel-based pool,
+// matching the pre-injection Solver behaviour.
+type chanTokens struct {
+	ch chan struct{}
+}
+
+func newChanTokens(n int) *chanTokens {
+	t := &chanTokens{ch: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		t.ch <- struct{}{}
+	}
+	return t
+}
+
+func (t *chanTokens) TryAcquire(max int) int {
+	got := 0
+	for got < max {
+		select {
+		case <-t.ch:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+func (t *chanTokens) Release(n int) {
+	for i := 0; i < n; i++ {
+		t.ch <- struct{}{}
+	}
+}
+
+// ShardedMemo is the default MemoBackend: 64 RWMutex-guarded map shards
+// selected by an FNV hash of the key, with the no-allocation string(buf)
+// lookup form on the read path. The zero value is ready to use. It is
+// exported so serving layers can reuse the same structure per cached
+// hypergraph.
+type ShardedMemo struct {
+	shards [64]memoShard
+}
+
+// memoShard is one shard of the negative memo.
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[string]struct{}
+}
+
+// Lookup implements MemoBackend.
+func (s *ShardedMemo) Lookup(key []byte) bool {
+	sh := &s.shards[fnvShard(key)]
+	sh.mu.RLock()
+	_, dead := sh.m[string(key)] // no-alloc lookup form
+	sh.mu.RUnlock()
+	return dead
+}
+
+// Insert implements MemoBackend.
+func (s *ShardedMemo) Insert(key string) { s.Add(key) }
+
+// Add is Insert reporting whether the key was new, for backends that
+// keep a size estimate on top of the sharded maps.
+func (s *ShardedMemo) Add(key string) bool {
+	sh := &s.shards[fnvShardString(key)]
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[string]struct{})
+	}
+	_, exists := sh.m[key]
+	if !exists {
+		sh.m[key] = struct{}{}
+	}
+	sh.mu.Unlock()
+	return !exists
+}
+
+// Len returns the number of memoised states.
+func (s *ShardedMemo) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// fnvShard hashes a key buffer to a shard index.
+func fnvShard(b []byte) int {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return int(h & 63)
+}
+
+// fnvShardString is fnvShard over a string key (same hash, no copy).
+func fnvShardString(s string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return int(h & 63)
+}

@@ -91,17 +91,31 @@ type Options struct {
 	// (subhypergraph, interface, allowed) states and the per-call reuse
 	// of parent-candidate components.
 	NoCache bool
+
+	// Tokens, when non-nil, replaces the Solver's private worker-token
+	// pool: parallel search splits draw extra workers from it instead.
+	// Inject a shared budget to bound total parallelism across many
+	// concurrent Solvers. Workers still caps how many extra tokens one
+	// split requests.
+	Tokens TokenSource
+
+	// Memo, when non-nil, replaces the Solver's private negative memo.
+	// Keys are pure content (ext.Graph.MemoKey), so a backend may be
+	// shared by all Solvers running the same hypergraph with the same K —
+	// the basis for cross-request caching in the service layer. Ignored
+	// when NoCache is set.
+	Memo MemoBackend
 }
 
 // Stats reports search effort, populated during Decompose. Counters are
 // aggregated across workers.
 type Stats struct {
-	Candidates   int64 // λ(c) candidates evaluated
-	ParentCands  int64 // λ(p) candidates evaluated
-	MaxDepth     int64 // deepest Decomp recursion observed
-	HybridCalls  int64 // subproblems delegated to det-k-decomp
-	TokensGrabbd int64 // parallel search-space splits performed
-	MemoHits     int64 // negative-memo hits
+	Candidates    int64 // λ(c) candidates evaluated
+	ParentCands   int64 // λ(p) candidates evaluated
+	MaxDepth      int64 // deepest Decomp recursion observed
+	HybridCalls   int64 // subproblems delegated to det-k-decomp
+	TokensGrabbed int64 // parallel search-space splits performed
+	MemoHits      int64 // negative-memo hits
 }
 
 // Solver runs the optimised log-k-decomp. Safe for one Decompose call at
@@ -110,14 +124,13 @@ type Solver struct {
 	H    *hypergraph.Hypergraph
 	Opts Options
 
-	tokens    chan struct{}
+	tokens    TokenSource
 	specialID atomic.Int64
 
-	// negMemo records content-keyed states whose search space was
-	// exhausted without success; see ext.Graph.MemoKey. Sharded maps
-	// with the no-allocation string(buf) lookup form keep the once-per-
-	// decomp-call check cheap.
-	negMemo [64]memoShard
+	// memo records content-keyed states whose search space was exhausted
+	// without success; see ext.Graph.MemoKey. The default is a private
+	// ShardedMemo; Options.Memo swaps in a shared backend.
+	memo MemoBackend
 
 	stats struct {
 		candidates  atomic.Int64
@@ -140,9 +153,13 @@ func New(h *hypergraph.Hypergraph, opts Options) *Solver {
 		opts.Workers = 1
 	}
 	s := &Solver{H: h, Opts: opts}
-	s.tokens = make(chan struct{}, opts.Workers-1)
-	for i := 0; i < opts.Workers-1; i++ {
-		s.tokens <- struct{}{}
+	s.tokens = opts.Tokens
+	if s.tokens == nil {
+		s.tokens = newChanTokens(opts.Workers - 1)
+	}
+	s.memo = opts.Memo
+	if s.memo == nil {
+		s.memo = new(ShardedMemo)
 	}
 	s.workerPool.New = func() any { return s.makeWorker() }
 	return s
@@ -151,12 +168,12 @@ func New(h *hypergraph.Hypergraph, opts Options) *Solver {
 // Stats returns a snapshot of the effort counters.
 func (s *Solver) Stats() Stats {
 	return Stats{
-		Candidates:   s.stats.candidates.Load(),
-		ParentCands:  s.stats.parentCands.Load(),
-		MaxDepth:     s.stats.maxDepth.Load(),
-		HybridCalls:  s.stats.hybridCalls.Load(),
-		TokensGrabbd: s.stats.tokenGrabs.Load(),
-		MemoHits:     s.stats.memoHits.Load(),
+		Candidates:    s.stats.candidates.Load(),
+		ParentCands:   s.stats.parentCands.Load(),
+		MaxDepth:      s.stats.maxDepth.Load(),
+		HybridCalls:   s.stats.hybridCalls.Load(),
+		TokensGrabbed: s.stats.tokenGrabs.Load(),
+		MemoHits:      s.stats.memoHits.Load(),
 	}
 }
 
@@ -198,12 +215,6 @@ type worker struct {
 	// depth d keep slices alive across recursive calls at depth d+1, so
 	// scratch must not be shared between depths.
 	frames []frameScratch
-}
-
-// memoShard is one shard of the negative memo.
-type memoShard struct {
-	mu sync.RWMutex
-	m  map[string]struct{}
 }
 
 // frameScratch is reusable loop scratch for one recursion depth.

@@ -25,13 +25,13 @@ func (s *Solver) searchChild(ctx context.Context, w *worker, g *ext.Graph, conn 
 
 	extra := 0
 	if s.Opts.Workers > 1 && total >= minParallelSpace {
-		extra = s.grabTokens(s.Opts.Workers - 1)
+		extra = s.tokens.TryAcquire(s.Opts.Workers - 1)
 	}
 	if extra == 0 {
 		it := comb.NewIter(space, 0, total)
 		return s.childRange(ctx, w, cs, g, conn, allowed, depth, it)
 	}
-	defer s.releaseTokens(extra)
+	defer s.tokens.Release(extra)
 	s.stats.tokenGrabs.Add(1)
 
 	// Force g's lazy caches before sharing it across goroutines.
@@ -85,24 +85,4 @@ func (s *Solver) searchChild(ctx context.Context, w *worker, g *ext.Graph, conn 
 		return nil, false, firstErr
 	}
 	return nil, false, nil
-}
-
-// grabTokens takes up to max worker tokens without blocking.
-func (s *Solver) grabTokens(max int) int {
-	got := 0
-	for got < max {
-		select {
-		case <-s.tokens:
-			got++
-		default:
-			return got
-		}
-	}
-	return got
-}
-
-func (s *Solver) releaseTokens(n int) {
-	for i := 0; i < n; i++ {
-		s.tokens <- struct{}{}
-	}
 }

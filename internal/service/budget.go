@@ -1,0 +1,78 @@
+package service
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// TokenBudget is a process-global pool of extra-worker tokens shared by
+// every job the service runs. It implements logk.TokenSource, so each
+// Solver's parallel search splits draw from this one pool instead of
+// assuming it owns all cores: the total number of extra search
+// goroutines across all concurrent decompositions never exceeds Size.
+type TokenBudget struct {
+	size  int64
+	avail atomic.Int64
+
+	// highWater tracks the maximum number of tokens simultaneously lent
+	// out, so tests and /stats can verify the bound is respected.
+	highWater atomic.Int64
+}
+
+// NewTokenBudget returns a budget of n tokens (n ≥ 0).
+func NewTokenBudget(n int) *TokenBudget {
+	if n < 0 {
+		n = 0
+	}
+	b := &TokenBudget{size: int64(n)}
+	b.avail.Store(int64(n))
+	return b
+}
+
+// TryAcquire implements logk.TokenSource.
+func (b *TokenBudget) TryAcquire(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	for {
+		cur := b.avail.Load()
+		if cur <= 0 {
+			return 0
+		}
+		n := int64(max)
+		if n > cur {
+			n = cur
+		}
+		if !b.avail.CompareAndSwap(cur, cur-n) {
+			continue
+		}
+		inUse := b.size - (cur - n)
+		for {
+			hw := b.highWater.Load()
+			if inUse <= hw || b.highWater.CompareAndSwap(hw, inUse) {
+				break
+			}
+		}
+		return int(n)
+	}
+}
+
+// Release implements logk.TokenSource.
+func (b *TokenBudget) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	if now := b.avail.Add(int64(n)); now > b.size {
+		panic(fmt.Sprintf("service: token budget over-released (%d tokens available, size %d)", now, b.size))
+	}
+}
+
+// Size returns the total number of tokens in the budget.
+func (b *TokenBudget) Size() int { return int(b.size) }
+
+// InUse returns the number of tokens currently lent out.
+func (b *TokenBudget) InUse() int { return int(b.size - b.avail.Load()) }
+
+// HighWater returns the maximum number of tokens ever simultaneously
+// lent out.
+func (b *TokenBudget) HighWater() int { return int(b.highWater.Load()) }

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/logk"
+)
+
+// memoStore caches negative-memo tables across requests, keyed by
+// (hypergraph content hash, width bound K). Memo keys are pure content
+// (ext.Graph.MemoKey) and the content hash pins the edge-id space, so a
+// table written by one request is sound for every later request on a
+// structurally identical hypergraph with the same K — repeated or
+// similar workloads skip search states already proven exhausted.
+type memoStore struct {
+	mu        sync.Mutex
+	maxGraphs int
+	maxEntry  int64
+	tables    map[string]*memoTable
+	clock     int64 // LRU tick
+
+	reuses atomic.Int64 // lookups that found an existing table
+}
+
+func newMemoStore(maxGraphs int, maxEntriesPerGraph int64) *memoStore {
+	return &memoStore{
+		maxGraphs: maxGraphs,
+		maxEntry:  maxEntriesPerGraph,
+		tables:    make(map[string]*memoTable),
+	}
+}
+
+// memoTable is one cached table: a sharded memo plus an advisory entry
+// cap so a pathological workload cannot grow the cache without bound.
+// It implements logk.MemoBackend.
+type memoTable struct {
+	memo    logk.ShardedMemo
+	entries atomic.Int64
+	max     int64
+	lastUse atomic.Int64
+}
+
+// Lookup implements logk.MemoBackend.
+func (t *memoTable) Lookup(key []byte) bool { return t.memo.Lookup(key) }
+
+// Insert implements logk.MemoBackend. Inserts are dropped once the
+// table is full; the memo is a pure acceleration, so dropping is safe.
+func (t *memoTable) Insert(key string) {
+	if t.entries.Load() >= t.max {
+		return
+	}
+	if t.memo.Add(key) {
+		t.entries.Add(1)
+	}
+}
+
+// get returns the table for (hash, k), creating it if needed, and
+// reports whether it already existed. Creation may evict the least
+// recently used table beyond the graph cap; jobs holding a pointer to
+// an evicted table keep using it safely, the store just forgets it.
+func (m *memoStore) get(hash string, k int) (*memoTable, bool) {
+	key := hash + ":" + strconv.Itoa(k)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clock++
+	if t, ok := m.tables[key]; ok {
+		t.lastUse.Store(m.clock)
+		m.reuses.Add(1)
+		return t, true
+	}
+	if len(m.tables) >= m.maxGraphs {
+		var oldestKey string
+		oldest := int64(1<<63 - 1)
+		for k, t := range m.tables {
+			if lu := t.lastUse.Load(); lu < oldest {
+				oldest, oldestKey = lu, k
+			}
+		}
+		delete(m.tables, oldestKey)
+	}
+	t := &memoTable{max: m.maxEntry}
+	t.lastUse.Store(m.clock)
+	m.tables[key] = t
+	return t, false
+}
+
+// counts returns the number of cached tables and total memoised entries.
+func (m *memoStore) counts() (graphs int, entries int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range m.tables {
+		entries += t.entries.Load()
+	}
+	return len(m.tables), entries
+}

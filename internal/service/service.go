@@ -1,0 +1,371 @@
+// Package service runs decompositions as a managed, concurrent service
+// rather than one Solver at a time. It owns three resources that
+// individual logk.Solver instances would otherwise fight over:
+//
+//   - a global worker-token budget (TokenBudget): every job's parallel
+//     search splits draw from one pool, so total search parallelism is
+//     bounded regardless of how many requests are in flight;
+//   - a job scheduler with admission control: at most MaxConcurrent
+//     jobs decompose at once, at most MaxQueue more wait, the rest are
+//     rejected immediately with ErrOverloaded; every job gets its own
+//     context with a per-job timeout;
+//   - a cross-request negative-memo cache: tables keyed by hypergraph
+//     content hash and width bound are shared between requests, so
+//     repeated or structurally identical workloads skip search states
+//     already proven exhausted.
+//
+// The package is exposed publicly as htd.Service.
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/decomp"
+	"repro/internal/hypergraph"
+	"repro/internal/logk"
+)
+
+// ErrOverloaded is returned when the waiting queue is full and the job
+// was rejected by admission control.
+var ErrOverloaded = errors.New("service: overloaded, job rejected")
+
+// ErrClosed is returned for jobs submitted after Close.
+var ErrClosed = errors.New("service: closed")
+
+// Config sizes the service. The zero value picks sensible defaults.
+type Config struct {
+	// TokenBudget is the number of extra search workers shared by all
+	// jobs (on top of each running job's own goroutine). Default:
+	// GOMAXPROCS-1, minimum 0.
+	TokenBudget int
+	// MaxConcurrent bounds jobs decomposing simultaneously. Default:
+	// GOMAXPROCS, minimum 1.
+	MaxConcurrent int
+	// MaxQueue bounds jobs waiting for a slot; beyond it Submit fails
+	// fast with ErrOverloaded. Default 64.
+	MaxQueue int
+	// DefaultTimeout applies to jobs that set none, and caps per-job
+	// overrides. 0 means no timeout.
+	DefaultTimeout time.Duration
+	// DefaultWorkers caps one job's search parallelism when the request
+	// sets none. Default TokenBudget+1 (one job can use the whole pool).
+	DefaultWorkers int
+	// MemoMaxGraphs bounds distinct (hypergraph, K) memo tables kept
+	// (LRU-evicted beyond it). Default 32.
+	MemoMaxGraphs int
+	// MemoMaxEntries bounds memoised states per table; inserts beyond it
+	// are dropped. Default 1<<20.
+	MemoMaxEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TokenBudget <= 0 {
+		c.TokenBudget = runtime.GOMAXPROCS(0) - 1
+		if c.TokenBudget < 0 {
+			c.TokenBudget = 0
+		}
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.DefaultWorkers <= 0 {
+		c.DefaultWorkers = c.TokenBudget + 1
+	}
+	if c.MemoMaxGraphs <= 0 {
+		c.MemoMaxGraphs = 32
+	}
+	if c.MemoMaxEntries <= 0 {
+		c.MemoMaxEntries = 1 << 20
+	}
+	return c
+}
+
+// Request is one decomposition job.
+type Request struct {
+	// H is the hypergraph to decompose (required).
+	H *hypergraph.Hypergraph
+	// K is the width bound (required, ≥ 1).
+	K int
+	// Workers caps this job's search parallelism; 0 uses the service
+	// default. Actual parallelism is further bounded by the shared
+	// token budget.
+	Workers int
+	// Timeout tightens the service's DefaultTimeout for this job; ≤ 0
+	// inherits it, and values beyond it are clamped to it.
+	Timeout time.Duration
+	// Hybrid and HybridThreshold configure det-k-decomp hybridisation,
+	// as in logk.Options.
+	Hybrid          logk.HybridMetric
+	HybridThreshold float64
+	// NoSharedMemo opts this job out of the cross-request memo cache
+	// (it still gets a private one).
+	NoSharedMemo bool
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	// Decomp is the decomposition when OK; nil otherwise.
+	Decomp *decomp.Decomp
+	// OK reports hw(H) ≤ K. It is false both for a definitive "no" and
+	// when Err is set.
+	OK bool
+	// Err is nil for a definitive answer; context errors mean the job
+	// timed out or was cancelled, ErrOverloaded that it never ran.
+	Err error
+	// Stats are the solver's effort counters for this job.
+	Stats logk.Stats
+	// Elapsed is wall-clock solve time (excluding queueing).
+	Elapsed time.Duration
+	// CacheShared reports that the job found an existing cross-request
+	// memo table for its hypergraph and width.
+	CacheShared bool
+}
+
+// Stats is a snapshot of service-wide counters.
+type Stats struct {
+	Submitted int64 // jobs accepted by Submit (including later failures)
+	Completed int64 // jobs that ran to a definitive answer
+	Failed    int64 // jobs that errored (timeouts, cancellations)
+	Rejected  int64 // jobs refused by admission control
+	Running   int64 // jobs decomposing right now
+	Waiting   int64 // jobs queued for a slot
+
+	TokenBudget     int64 // size of the shared worker-token pool
+	TokensInUse     int64 // tokens currently lent out
+	TokensHighWater int64 // max tokens ever simultaneously lent out
+
+	MemoGraphs  int64 // distinct (hypergraph, K) memo tables cached
+	MemoEntries int64 // memoised dead states across all tables
+	CacheReuses int64 // jobs that found an existing memo table
+
+	// Solver aggregates per-job solver counters over all finished jobs
+	// (sums; MaxDepth is the maximum observed).
+	Solver logk.Stats
+}
+
+// Service is a concurrent decomposition service. Create one with New,
+// share it freely between goroutines, and Close it when done.
+type Service struct {
+	cfg    Config
+	budget *TokenBudget
+	memos  *memoStore
+	slots  chan struct{}
+
+	mu     sync.Mutex // guards closed + jobs Add
+	closed bool
+	jobs   sync.WaitGroup
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	rejected  atomic.Int64
+	running   atomic.Int64
+	waiting   atomic.Int64
+
+	agg struct {
+		sync.Mutex
+		stats logk.Stats
+	}
+}
+
+// New returns a Service with the given configuration.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:    cfg,
+		budget: NewTokenBudget(cfg.TokenBudget),
+		memos:  newMemoStore(cfg.MemoMaxGraphs, int64(cfg.MemoMaxEntries)),
+		slots:  make(chan struct{}, cfg.MaxConcurrent),
+	}
+}
+
+// Budget exposes the shared token pool (read-only use: sizing, stats).
+func (s *Service) Budget() *TokenBudget { return s.budget }
+
+// Config returns the effective configuration, with defaults resolved.
+func (s *Service) Config() Config { return s.cfg }
+
+// Submit runs one job, blocking until it finishes, fails, or is
+// rejected. It is safe to call from any number of goroutines; admission
+// control decides which callers wait and which fail fast.
+func (s *Service) Submit(ctx context.Context, req Request) Result {
+	if req.H == nil {
+		return Result{Err: errors.New("service: nil hypergraph")}
+	}
+	if req.K < 1 {
+		return Result{Err: errors.New("service: width bound K must be >= 1")}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Result{Err: ErrClosed}
+	}
+	s.jobs.Add(1)
+	s.mu.Unlock()
+	defer s.jobs.Done()
+	s.submitted.Add(1)
+
+	// Admission: take a run slot without waiting if one is free, join
+	// the bounded queue otherwise, reject when the queue is full. The
+	// queue count is reserved *before* the bound check (add-then-test)
+	// so a simultaneous burst cannot slip past MaxQueue.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
+			s.waiting.Add(-1)
+			s.rejected.Add(1)
+			return Result{Err: ErrOverloaded}
+		}
+		select {
+		case s.slots <- struct{}{}:
+			s.waiting.Add(-1)
+		case <-ctx.Done():
+			s.waiting.Add(-1)
+			s.failed.Add(1)
+			return Result{Err: ctx.Err()}
+		}
+	}
+	defer func() { <-s.slots }()
+
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	return s.run(ctx, req)
+}
+
+// run executes an admitted job on the caller's goroutine.
+func (s *Service) run(ctx context.Context, req Request) Result {
+	// Per-request timeouts can only tighten the operator's default:
+	// unset (or negative) inherits it, larger values are clamped to it.
+	// Otherwise any caller could opt out of the server-wide deadline
+	// and pin a run slot indefinitely.
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if s.cfg.DefaultTimeout > 0 && timeout > s.cfg.DefaultTimeout {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.DefaultWorkers
+	}
+	if max := s.budget.Size() + 1; workers > max {
+		workers = max
+	}
+
+	opts := logk.Options{
+		K:               req.K,
+		Workers:         workers,
+		Hybrid:          req.Hybrid,
+		HybridThreshold: req.HybridThreshold,
+		Tokens:          s.budget,
+	}
+	var res Result
+	if !req.NoSharedMemo {
+		table, existed := s.memos.get(req.H.ContentHash(), req.K)
+		opts.Memo = table
+		res.CacheShared = existed
+	}
+
+	solver := logk.New(req.H, opts)
+	start := time.Now()
+	d, ok, err := solver.Decompose(ctx)
+	res.Elapsed = time.Since(start)
+	res.Decomp, res.OK, res.Err = d, ok, err
+	res.Stats = solver.Stats()
+
+	s.agg.Lock()
+	s.agg.stats.Candidates += res.Stats.Candidates
+	s.agg.stats.ParentCands += res.Stats.ParentCands
+	s.agg.stats.HybridCalls += res.Stats.HybridCalls
+	s.agg.stats.TokensGrabbed += res.Stats.TokensGrabbed
+	s.agg.stats.MemoHits += res.Stats.MemoHits
+	if res.Stats.MaxDepth > s.agg.stats.MaxDepth {
+		s.agg.stats.MaxDepth = res.Stats.MaxDepth
+	}
+	s.agg.Unlock()
+
+	if err != nil {
+		s.failed.Add(1)
+	} else {
+		s.completed.Add(1)
+	}
+	return res
+}
+
+// Batch runs all requests and returns results in request order. It
+// feeds at most MaxConcurrent jobs into Submit at a time, so a large
+// batch makes steady progress instead of tripping its own admission
+// control (concurrent external traffic can still cause rejections,
+// reported per-result).
+func (s *Service) Batch(ctx context.Context, reqs []Request) []Result {
+	results := make([]Result, len(reqs))
+	limit := s.cfg.MaxConcurrent
+	if limit > len(reqs) {
+		limit = len(reqs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for i := 0; i < limit; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				results[idx] = s.Submit(ctx, reqs[idx])
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	graphs, entries := s.memos.counts()
+	s.agg.Lock()
+	solver := s.agg.stats
+	s.agg.Unlock()
+	return Stats{
+		Submitted:       s.submitted.Load(),
+		Completed:       s.completed.Load(),
+		Failed:          s.failed.Load(),
+		Rejected:        s.rejected.Load(),
+		Running:         s.running.Load(),
+		Waiting:         s.waiting.Load(),
+		TokenBudget:     int64(s.budget.Size()),
+		TokensInUse:     int64(s.budget.InUse()),
+		TokensHighWater: int64(s.budget.HighWater()),
+		MemoGraphs:      int64(graphs),
+		MemoEntries:     entries,
+		CacheReuses:     s.memos.reuses.Load(),
+		Solver:          solver,
+	}
+}
+
+// Close rejects future submissions and waits for in-flight jobs to
+// drain. Jobs keep their own contexts; Close does not cancel them.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.jobs.Wait()
+}

@@ -1,0 +1,385 @@
+package service
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/decomp"
+	"repro/internal/hypergraph"
+	"repro/internal/logk"
+)
+
+func cycle(n int) *hypergraph.Hypergraph {
+	var b hypergraph.Builder
+	for i := 0; i < n; i++ {
+		b.MustAddEdge("R"+strconv.Itoa(i+1), "x"+strconv.Itoa(i), "x"+strconv.Itoa((i+1)%n))
+	}
+	return b.Build()
+}
+
+func grid(m int) *hypergraph.Hypergraph {
+	var b hypergraph.Builder
+	name := func(i, j int) string { return "g" + strconv.Itoa(i) + "_" + strconv.Itoa(j) }
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if j+1 < m {
+				b.MustAddEdge("", name(i, j), name(i, j+1))
+			}
+			if i+1 < m {
+				b.MustAddEdge("", name(i, j), name(i+1, j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TestConcurrentSubmissionsBoundedBudget is the central serving-layer
+// test: many concurrent jobs with a small global token budget must all
+// answer correctly, produce valid HDs, and never push the pool past its
+// bound — even though each job asks for far more workers than exist.
+func TestConcurrentSubmissionsBoundedBudget(t *testing.T) {
+	const budget = 3
+	svc := New(Config{TokenBudget: budget, MaxConcurrent: 16, MaxQueue: 256})
+	defer svc.Close()
+
+	graphs := []*hypergraph.Hypergraph{cycle(24), cycle(32), cycle(48), grid(3)}
+	const jobs = 40 // ≥ 32 concurrent submissions
+	results := make([]Result, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = svc.Submit(context.Background(), Request{
+				H: graphs[i%len(graphs)], K: 2, Workers: 64,
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if !r.OK {
+			t.Fatalf("job %d: expected a width-2 HD", i)
+		}
+		if err := decomp.CheckHD(r.Decomp); err != nil {
+			t.Fatalf("job %d: invalid HD: %v", i, err)
+		}
+	}
+
+	st := svc.Stats()
+	if st.TokensHighWater > budget {
+		t.Fatalf("token budget exceeded: high water %d > budget %d", st.TokensHighWater, budget)
+	}
+	if st.TokensInUse != 0 {
+		t.Fatalf("tokens leaked: %d still in use after drain", st.TokensInUse)
+	}
+	if st.Completed != jobs {
+		t.Fatalf("completed %d of %d jobs", st.Completed, jobs)
+	}
+}
+
+// TestMemoSharedAcrossRequests: a second request for a structurally
+// identical hypergraph must reuse the first request's negative memo —
+// an unsatisfiable instance is then rejected on the very first state.
+func TestMemoSharedAcrossRequests(t *testing.T) {
+	svc := New(Config{TokenBudget: 2, MaxConcurrent: 4})
+	defer svc.Close()
+	ctx := context.Background()
+
+	// cycle(12) has hw = 2: K=1 exhausts the search space and fills the
+	// negative memo, including the root state.
+	first := svc.Submit(ctx, Request{H: cycle(12), K: 1})
+	if first.Err != nil || first.OK {
+		t.Fatalf("first: ok=%v err=%v", first.OK, first.Err)
+	}
+	if first.CacheShared {
+		t.Fatal("first request cannot find a pre-existing memo table")
+	}
+	if first.Stats.Candidates == 0 {
+		t.Fatal("first request should have searched")
+	}
+
+	// Same structure under different names: content hash must match and
+	// the root state must be a memo hit, with no search at all.
+	var b hypergraph.Builder
+	for i := 0; i < 12; i++ {
+		b.MustAddEdge("S"+strconv.Itoa(i), "y"+strconv.Itoa(i), "y"+strconv.Itoa((i+1)%12))
+	}
+	renamed := b.Build()
+	second := svc.Submit(ctx, Request{H: renamed, K: 1})
+	if second.Err != nil || second.OK {
+		t.Fatalf("second: ok=%v err=%v", second.OK, second.Err)
+	}
+	if !second.CacheShared {
+		t.Fatal("second request should have found the cached memo table")
+	}
+	if second.Stats.MemoHits == 0 {
+		t.Fatal("second request should hit the cross-request memo")
+	}
+	if second.Stats.Candidates != 0 {
+		t.Fatalf("second request searched %d candidates despite a dead root state", second.Stats.Candidates)
+	}
+
+	st := svc.Stats()
+	if st.CacheReuses == 0 || st.MemoGraphs == 0 || st.MemoEntries == 0 {
+		t.Fatalf("cache stats not populated: %+v", st)
+	}
+}
+
+// TestMemoSharingUnderConcurrency: many jobs hammering the same two
+// instances concurrently — shared tables must stay race-free and the
+// decisions must match a fresh, cache-free solver.
+func TestMemoSharingUnderConcurrency(t *testing.T) {
+	svc := New(Config{TokenBudget: 4, MaxConcurrent: 8, MaxQueue: 256})
+	defer svc.Close()
+	ctx := context.Background()
+
+	type job struct {
+		h    *hypergraph.Hypergraph
+		k    int
+		want bool
+	}
+	jobs := []job{
+		{cycle(16), 1, false},
+		{cycle(16), 2, true},
+		{grid(3), 1, false},
+		{grid(3), 2, true},
+	}
+	// Verify expectations against direct cache-free solvers first.
+	for i, j := range jobs {
+		ok, err := logk.New(j.h, logk.Options{K: j.k, NoCache: true}).Decide(ctx)
+		if err != nil || ok != j.want {
+			t.Fatalf("job template %d: direct ok=%v err=%v want=%v", i, ok, err, j.want)
+		}
+	}
+
+	const rounds = 10
+	var wg sync.WaitGroup
+	errs := make(chan string, rounds*len(jobs))
+	for r := 0; r < rounds; r++ {
+		for i, j := range jobs {
+			wg.Add(1)
+			go func(r, i int, j job) {
+				defer wg.Done()
+				res := svc.Submit(ctx, Request{H: j.h, K: j.k})
+				if res.Err != nil {
+					errs <- "round " + strconv.Itoa(r) + " job " + strconv.Itoa(i) + ": " + res.Err.Error()
+					return
+				}
+				if res.OK != j.want {
+					errs <- "round " + strconv.Itoa(r) + " job " + strconv.Itoa(i) + ": wrong decision"
+					return
+				}
+				if res.OK {
+					if err := decomp.CheckHD(res.Decomp); err != nil {
+						errs <- "round " + strconv.Itoa(r) + " job " + strconv.Itoa(i) + ": " + err.Error()
+					}
+				}
+			}(r, i, j)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if st := svc.Stats(); st.CacheReuses == 0 {
+		t.Fatal("no cross-request cache reuse under concurrency")
+	}
+}
+
+// TestAdmissionControl: with one slot and a one-deep queue, once a slow
+// job runs and another waits, further submissions must be rejected
+// immediately with ErrOverloaded.
+func TestAdmissionControl(t *testing.T) {
+	svc := New(Config{TokenBudget: 1, MaxConcurrent: 1, MaxQueue: 1})
+	defer svc.Close()
+
+	// Heavy instance: the search cannot finish before we cancel it.
+	slow := grid(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			svc.Submit(ctx, Request{H: slow, K: 4})
+		}()
+	}
+	// Wait until one job holds the slot and the other fills the queue.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := svc.Stats()
+		if st.Running == 1 && st.Waiting == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs did not settle into run+wait: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	const flood = 5
+	for i := 0; i < flood; i++ {
+		if res := svc.Submit(ctx, Request{H: slow, K: 4}); res.Err != ErrOverloaded {
+			t.Fatalf("flood submission %d: err=%v, want ErrOverloaded", i, res.Err)
+		}
+	}
+
+	// A simultaneous burst must not slip past the queue bound either
+	// (the check is add-then-test, not check-then-act): the queue is
+	// full, so every one of these must be rejected.
+	const burst = 64
+	var rejected atomic.Int64
+	var burstWG sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		burstWG.Add(1)
+		go func() {
+			defer burstWG.Done()
+			if svc.Submit(ctx, Request{H: slow, K: 4}).Err == ErrOverloaded {
+				rejected.Add(1)
+			}
+		}()
+	}
+	burstWG.Wait()
+	if got := rejected.Load(); got != burst {
+		t.Fatalf("burst: %d of %d rejected, want all", got, burst)
+	}
+
+	cancel()
+	wg.Wait()
+	if st := svc.Stats(); st.Rejected != flood+burst {
+		t.Fatalf("stats.Rejected=%d, want %d", st.Rejected, flood+burst)
+	}
+}
+
+// TestPerJobTimeout: a hopeless deadline must surface the context error
+// without wedging the service.
+func TestPerJobTimeout(t *testing.T) {
+	svc := New(Config{TokenBudget: 1, MaxConcurrent: 2})
+	defer svc.Close()
+
+	res := svc.Submit(context.Background(), Request{H: grid(5), K: 3, Timeout: time.Microsecond})
+	if res.Err == nil {
+		t.Skip("instance solved within a microsecond; timeout not exercised")
+	}
+	if res.OK {
+		t.Fatal("timed-out job cannot report OK")
+	}
+	// The service must still serve after a timeout.
+	ok := svc.Submit(context.Background(), Request{H: cycle(6), K: 2})
+	if ok.Err != nil || !ok.OK {
+		t.Fatalf("post-timeout job: ok=%v err=%v", ok.OK, ok.Err)
+	}
+	if st := svc.Stats(); st.Failed == 0 {
+		t.Fatal("timeout not counted as failed")
+	}
+}
+
+// TestTimeoutCannotBeEscaped: a negative or oversized per-job timeout
+// must not bypass the service's DefaultTimeout cap.
+func TestTimeoutCannotBeEscaped(t *testing.T) {
+	svc := New(Config{TokenBudget: 1, MaxConcurrent: 2, DefaultTimeout: 20 * time.Millisecond})
+	defer svc.Close()
+	heavy := grid(8)
+	for _, timeout := range []time.Duration{-1, time.Hour} {
+		start := time.Now()
+		res := svc.Submit(context.Background(), Request{H: heavy, K: 4, Timeout: timeout})
+		if res.Err == nil {
+			t.Fatalf("timeout %v: heavy job finished under the 20ms cap?!", timeout)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("timeout %v: job ran %v, cap did not apply", timeout, elapsed)
+		}
+	}
+}
+
+// TestBatchOrderAndStreaming: Batch preserves request order and handles
+// mixed widths.
+func TestBatch(t *testing.T) {
+	svc := New(Config{TokenBudget: 2, MaxConcurrent: 4})
+	defer svc.Close()
+
+	reqs := []Request{
+		{H: cycle(6), K: 2},
+		{H: cycle(6), K: 1},
+		{H: grid(3), K: 2},
+		{H: cycle(10), K: 2},
+	}
+	want := []bool{true, false, true, true}
+	results := svc.Batch(context.Background(), reqs)
+	if len(results) != len(reqs) {
+		t.Fatalf("got %d results for %d requests", len(results), len(reqs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("batch[%d]: %v", i, r.Err)
+		}
+		if r.OK != want[i] {
+			t.Fatalf("batch[%d]: ok=%v want %v", i, r.OK, want[i])
+		}
+	}
+}
+
+// TestCloseRejectsAndDrains: Close waits for running jobs and later
+// submissions fail with ErrClosed.
+func TestCloseRejectsAndDrains(t *testing.T) {
+	svc := New(Config{TokenBudget: 1, MaxConcurrent: 2})
+	done := make(chan Result, 1)
+	go func() { done <- svc.Submit(context.Background(), Request{H: cycle(20), K: 2}) }()
+	// Give the job a chance to be admitted before closing.
+	for i := 0; i < 1000 && svc.Stats().Submitted == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	svc.Close()
+	if res := svc.Submit(context.Background(), Request{H: cycle(6), K: 2}); res.Err != ErrClosed {
+		t.Fatalf("submit after close: err=%v, want ErrClosed", res.Err)
+	}
+	if res := <-done; res.Err != nil || !res.OK {
+		t.Fatalf("in-flight job: ok=%v err=%v", res.OK, res.Err)
+	}
+}
+
+// TestMemoStoreEviction: the LRU cap on cached graphs holds.
+func TestMemoStoreEviction(t *testing.T) {
+	svc := New(Config{TokenBudget: 1, MaxConcurrent: 2, MemoMaxGraphs: 2})
+	defer svc.Close()
+	ctx := context.Background()
+	for _, n := range []int{6, 8, 10, 12} {
+		if res := svc.Submit(ctx, Request{H: cycle(n), K: 2}); res.Err != nil || !res.OK {
+			t.Fatalf("cycle(%d): ok=%v err=%v", n, res.OK, res.Err)
+		}
+	}
+	if st := svc.Stats(); st.MemoGraphs > 2 {
+		t.Fatalf("memo store holds %d graphs, cap is 2", st.MemoGraphs)
+	}
+}
+
+// TestTokenBudgetUnit exercises the budget directly.
+func TestTokenBudgetUnit(t *testing.T) {
+	b := NewTokenBudget(4)
+	if got := b.TryAcquire(10); got != 4 {
+		t.Fatalf("TryAcquire(10) = %d, want 4", got)
+	}
+	if got := b.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire on empty = %d, want 0", got)
+	}
+	b.Release(4)
+	if b.InUse() != 0 || b.HighWater() != 4 {
+		t.Fatalf("InUse=%d HighWater=%d", b.InUse(), b.HighWater())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release must panic")
+		}
+	}()
+	b.Release(1)
+}
