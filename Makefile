@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet test race bench serve ci
+.PHONY: all build fmt fmt-check vet test race bench fuzz serve ci
 
 all: build
 
@@ -29,8 +29,12 @@ race:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/benchtab -experiment race -benchjson BENCH_PR2.json -quiet
+
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzDecomposeCheckHD -fuzztime=10s .
 
 serve:
 	$(GO) run ./cmd/htdserve
 
-ci: fmt-check vet build race bench
+ci: fmt-check vet build race bench fuzz

@@ -9,7 +9,12 @@
 //	benchtab -experiment figure3 -csv scatter.csv
 //
 // Experiments: table1 table2 table3 table4 table5 figure1 figure3
-// ablation depth ghd all
+// ablation depth ghd race all
+//
+// The race experiment compares the serial k = 1..kmax width ladder
+// against the optimal-width racing service pipeline and, with
+// -benchjson, writes the measurements as a JSON benchmark artifact
+// (BENCH_PR2.json in CI) so the perf trajectory is tracked across PRs.
 package main
 
 import (
@@ -34,6 +39,8 @@ func main() {
 		kmax       = flag.Int("kmax", 6, "maximum width to try")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "workers for parallel methods")
 		csvPath    = flag.String("csv", "", "write figure3 scatter CSV here")
+		benchJSON  = flag.String("benchjson", "", "write race-experiment benchmark JSON here")
+		rounds     = flag.Int("rounds", 3, "traffic rounds for the race experiment")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -124,6 +131,12 @@ func main() {
 			acfg := cfg
 			acfg.Suite = medium
 			fmt.Print(harness.AblationExperiment(ctx, acfg).Render())
+		case "race":
+			tab, err := raceExperiment(ctx, cfg, *rounds, *benchJSON)
+			if err != nil {
+				return err
+			}
+			fmt.Print(tab.Render())
 		case "depth":
 			fmt.Print(harness.DepthExperiment(ctx, []int{16, 32, 64, 128, 256, 512}).Render())
 		case "ghd":
@@ -149,7 +162,7 @@ func main() {
 	names := []string{*experiment}
 	if *experiment == "all" {
 		names = []string{"table1", "table2", "table3", "table4", "table5",
-			"figure1", "figure3", "ablation", "depth", "ghd"}
+			"figure1", "figure3", "ablation", "depth", "ghd", "race"}
 	}
 	for _, n := range names {
 		if err := run(strings.TrimSpace(n)); err != nil {

@@ -1,9 +1,10 @@
 // Command crosscheck is a differential-testing harness: it generates
 // random hypergraphs and verifies that the optimised log-k-decomp (in
 // sequential, parallel, and hybrid configurations), the basic
-// Algorithm 1, and det-k-decomp agree on the decision hw(H) ≤ k for
-// every k, that every produced decomposition validates against the
-// independent checker, and that hw = 1 coincides with GYO acyclicity.
+// Algorithm 1, det-k-decomp, and the optimal-width racer agree on the
+// decision hw(H) ≤ k for every k, that every produced decomposition
+// validates against the independent checker, and that hw = 1 coincides
+// with GYO acyclicity.
 //
 // Usage:
 //
@@ -15,8 +16,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
@@ -25,28 +28,77 @@ import (
 	"repro/internal/detk"
 	"repro/internal/hypergraph"
 	"repro/internal/logk"
+	"repro/internal/race"
 )
 
-func main() {
-	var (
-		rounds = flag.Int("rounds", 200, "random instances to test")
-		maxV   = flag.Int("maxv", 9, "max vertices")
-		maxE   = flag.Int("maxe", 9, "max edges")
-		kmax   = flag.Int("kmax", 3, "widths to test (1..kmax)")
-		seed   = flag.Int64("seed", 1, "base seed")
-		basic  = flag.Bool("basic", true, "include the slow Algorithm 1 oracle")
-	)
-	flag.Parse()
-	ctx := context.Background()
+// config holds the parsed flags.
+type config struct {
+	rounds int
+	maxV   int
+	maxE   int
+	kmax   int
+	seed   int64
+	basic  bool
+}
 
-	for round := 0; round < *rounds; round++ {
-		r := rand.New(rand.NewSource(*seed + int64(round)))
-		h := randomHypergraph(r, *maxV, *maxE)
-		for k := 1; k <= *kmax; k++ {
+// parseFlags parses args (without the program name) into a config.
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("crosscheck", flag.ContinueOnError)
+	cfg := config{}
+	fs.IntVar(&cfg.rounds, "rounds", 200, "random instances to test")
+	fs.IntVar(&cfg.maxV, "maxv", 9, "max vertices")
+	fs.IntVar(&cfg.maxE, "maxe", 9, "max edges")
+	fs.IntVar(&cfg.kmax, "kmax", 3, "widths to test (1..kmax)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "base seed")
+	fs.BoolVar(&cfg.basic, "basic", true, "include the slow Algorithm 1 oracle")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err // the FlagSet has already reported this one
+	}
+	if cfg.rounds < 1 || cfg.maxV < 2 || cfg.maxE < 1 || cfg.kmax < 1 {
+		return cfg, &rangeError{fmt.Sprintf(
+			"crosscheck: rounds/maxv/maxe/kmax must be positive (got %d/%d/%d/%d)",
+			cfg.rounds, cfg.maxV, cfg.maxE, cfg.kmax)}
+	}
+	return cfg, nil
+}
+
+// rangeError marks validation failures that the FlagSet did not already
+// print, so main knows to report them before exiting.
+type rangeError struct{ msg string }
+
+func (e *rangeError) Error() string { return e.msg }
+
+// checkError carries the offending instance for triage.
+type checkError struct {
+	h   *hypergraph.Hypergraph
+	msg string
+}
+
+func (e *checkError) Error() string {
+	return fmt.Sprintf("%s\ninstance:\n%s", e.msg, e.h)
+}
+
+func failf(h *hypergraph.Hypergraph, format string, args ...any) error {
+	return &checkError{h: h, msg: fmt.Sprintf(format, args...)}
+}
+
+// run performs the differential test, writing progress to w. It returns
+// the first disagreement as an error.
+func run(ctx context.Context, cfg config, w io.Writer) error {
+	for round := 0; round < cfg.rounds; round++ {
+		r := rand.New(rand.NewSource(cfg.seed + int64(round)))
+		h := randomHypergraph(r, cfg.maxV, cfg.maxE)
+		optWidth := 0 // smallest k with a verdict of yes so far, 0 = none
+		for k := 1; k <= cfg.kmax; k++ {
 			verdicts := map[string]bool{}
+			var firstErr error
 			check := func(name string, d *decomp.Decomp, ok bool, err error, ghd bool) {
+				if firstErr != nil {
+					return
+				}
 				if err != nil {
-					fail(h, "%s k=%d errored: %v", name, k, err)
+					firstErr = failf(h, "%s k=%d errored: %v", name, k, err)
+					return
 				}
 				verdicts[name] = ok
 				if !ok {
@@ -62,7 +114,7 @@ func main() {
 					verr = decomp.CheckWidth(d, k)
 				}
 				if verr != nil {
-					fail(h, "%s k=%d produced invalid decomposition: %v", name, k, verr)
+					firstErr = failf(h, "%s k=%d produced invalid decomposition: %v", name, k, verr)
 				}
 			}
 
@@ -77,32 +129,64 @@ func main() {
 			check("logk-nocache", d, ok, err, false)
 			d, ok, err = detk.New(h, k).Decompose(ctx)
 			check("detk", d, ok, err, false)
-			if *basic {
+			if cfg.basic {
 				d, ok, err = logk.NewBasic(h, k).Decompose(ctx)
 				check("basic", d, ok, err, false)
+			}
+			if firstErr != nil {
+				return firstErr
 			}
 
 			want := verdicts["logk"]
 			for name, got := range verdicts {
 				if got != want {
-					fail(h, "k=%d: %s=%v but logk=%v", k, name, got, want)
+					return failf(h, "k=%d: %s=%v but logk=%v", k, name, got, want)
 				}
 			}
 			if k == 1 && want != h.IsAcyclic() {
-				fail(h, "hw<=1 is %v but GYO acyclicity is %v", want, h.IsAcyclic())
+				return failf(h, "hw<=1 is %v but GYO acyclicity is %v", want, h.IsAcyclic())
+			}
+			if want && optWidth == 0 {
+				optWidth = k
 			}
 		}
+
+		// The racer must agree with the width ladder just computed:
+		// found exactly when some k ≤ kmax succeeded, at that width.
+		res, err := race.New(h, race.Config{KMax: cfg.kmax, MaxProbes: 3, Workers: 4}).Solve(ctx)
+		if err != nil {
+			return failf(h, "racer errored: %v", err)
+		}
+		if res.Found != (optWidth > 0) || (res.Found && res.Width != optWidth) {
+			return failf(h, "racer found=%v width=%d, ladder optimum %d", res.Found, res.Width, optWidth)
+		}
+		if res.Found {
+			if verr := decomp.CheckHD(res.Decomp); verr != nil {
+				return failf(h, "racer produced invalid decomposition: %v", verr)
+			}
+		}
+
 		if (round+1)%50 == 0 {
-			fmt.Printf("%d/%d rounds clean\n", round+1, *rounds)
+			fmt.Fprintf(w, "%d/%d rounds clean\n", round+1, cfg.rounds)
 		}
 	}
-	fmt.Printf("crosscheck passed: %d instances, widths 1..%d\n", *rounds, *kmax)
+	fmt.Fprintf(w, "crosscheck passed: %d instances, widths 1..%d\n", cfg.rounds, cfg.kmax)
+	return nil
 }
 
-func fail(h *hypergraph.Hypergraph, format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "crosscheck FAILED: "+format+"\n", args...)
-	fmt.Fprintf(os.Stderr, "instance:\n%s\n", h)
-	os.Exit(1)
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		var re *rangeError
+		if errors.As(err, &re) {
+			fmt.Fprintln(os.Stderr, re)
+		}
+		os.Exit(2)
+	}
+	if err := run(context.Background(), cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "crosscheck FAILED: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func randomHypergraph(r *rand.Rand, maxV, maxE int) *hypergraph.Hypergraph {

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-rounds", "7", "-maxv", "5", "-maxe", "6", "-kmax", "2", "-seed", "42", "-basic=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.rounds != 7 || cfg.maxV != 5 || cfg.maxE != 6 || cfg.kmax != 2 || cfg.seed != 42 || cfg.basic {
+		t.Fatalf("flags misparsed: %+v", cfg)
+	}
+
+	if _, err := parseFlags([]string{"-rounds", "0"}); err == nil {
+		t.Fatal("rounds=0 must be rejected")
+	}
+	if _, err := parseFlags([]string{"-maxv", "1"}); err == nil {
+		t.Fatal("maxv=1 must be rejected (need at least 2 vertices)")
+	}
+	if _, err := parseFlags([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag must be rejected")
+	}
+
+	def, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.rounds != 200 || def.kmax != 3 || !def.basic {
+		t.Fatalf("defaults wrong: %+v", def)
+	}
+}
+
+// TestRunEndToEnd drives the differential loop (including the racer
+// agreement check) over a small random batch and expects it clean.
+func TestRunEndToEnd(t *testing.T) {
+	var out strings.Builder
+	cfg := config{rounds: 60, maxV: 6, maxE: 6, kmax: 2, seed: 1, basic: true}
+	if err := run(context.Background(), cfg, &out); err != nil {
+		t.Fatalf("crosscheck found a disagreement: %v", err)
+	}
+	if !strings.Contains(out.String(), "crosscheck passed: 60 instances, widths 1..2") {
+		t.Fatalf("missing summary line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "50/60 rounds clean") {
+		t.Fatalf("missing progress line:\n%s", out.String())
+	}
+}
+
+// TestCheckErrorCarriesInstance: failures must print the offending
+// hypergraph for triage.
+func TestCheckErrorCarriesInstance(t *testing.T) {
+	h := randomHypergraph(rand.New(rand.NewSource(1)), 5, 5)
+	err := failf(h, "method %s disagreed at k=%d", "detk", 2)
+	msg := err.Error()
+	if !strings.Contains(msg, "detk disagreed at k=2") {
+		t.Fatalf("message lost: %q", msg)
+	}
+	if !strings.Contains(msg, "instance:") || !strings.Contains(msg, "(") {
+		t.Fatalf("instance rendering missing: %q", msg)
+	}
+}
+
+func TestRandomHypergraphRespectsBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		h := randomHypergraph(r, 6, 7)
+		if h.NumVertices() > 6 || h.NumEdges() > 7 || h.NumEdges() < 1 {
+			t.Fatalf("bounds violated: |V|=%d |E|=%d", h.NumVertices(), h.NumEdges())
+		}
+	}
+}

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/hyperbench"
@@ -17,28 +18,33 @@ import (
 )
 
 func main() {
-	args := os.Args[1:]
+	os.Exit(runMain(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// runMain is the testable entry point: it reports on every path in
+// args ("-" reads stdin) and returns the process exit code.
+func runMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: hgstat <file.hg|-> ...")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: hgstat <file.hg|-> ...")
+		return 2
 	}
 	exit := 0
 	for _, path := range args {
-		if err := report(path); err != nil {
-			fmt.Fprintf(os.Stderr, "hgstat: %s: %v\n", path, err)
+		if err := report(stdout, stdin, path); err != nil {
+			fmt.Fprintf(stderr, "hgstat: %s: %v\n", path, err)
 			exit = 1
 		}
 	}
-	os.Exit(exit)
+	return exit
 }
 
-func report(path string) error {
+func report(w io.Writer, stdin io.Reader, path string) error {
 	var (
 		h   *hypergraph.Hypergraph
 		err error
 	)
 	if path == "-" {
-		h, err = hypergraph.Parse(os.Stdin)
+		h, err = hypergraph.Parse(stdin)
 	} else {
 		f, ferr := os.Open(path)
 		if ferr != nil {
@@ -53,13 +59,13 @@ func report(path string) error {
 	st := h.ComputeStats()
 	reduced, _ := h.RemoveSubsumedEdges()
 
-	fmt.Printf("%s:\n", path)
-	fmt.Printf("  vertices:        %d\n", st.Vertices)
-	fmt.Printf("  edges:           %d  (group: %s)\n", st.Edges, hyperbench.SizeBucket(st.Edges))
-	fmt.Printf("  arity:           min %d, max %d, avg %.2f\n", st.MinArity, st.MaxArity, st.AvgArity)
-	fmt.Printf("  degree:          min %d, max %d, avg %.2f\n", st.MinDegree, st.MaxDegree, st.AvgDegree)
-	fmt.Printf("  connected:       %v\n", st.IsConnected)
-	fmt.Printf("  alpha-acyclic:   %v  (hw = 1 iff true)\n", h.IsAcyclic())
-	fmt.Printf("  subsumed edges:  %d\n", st.Edges-reduced.NumEdges())
+	fmt.Fprintf(w, "%s:\n", path)
+	fmt.Fprintf(w, "  vertices:        %d\n", st.Vertices)
+	fmt.Fprintf(w, "  edges:           %d  (group: %s)\n", st.Edges, hyperbench.SizeBucket(st.Edges))
+	fmt.Fprintf(w, "  arity:           min %d, max %d, avg %.2f\n", st.MinArity, st.MaxArity, st.AvgArity)
+	fmt.Fprintf(w, "  degree:          min %d, max %d, avg %.2f\n", st.MinDegree, st.MaxDegree, st.AvgDegree)
+	fmt.Fprintf(w, "  connected:       %v\n", st.IsConnected)
+	fmt.Fprintf(w, "  alpha-acyclic:   %v  (hw = 1 iff true)\n", h.IsAcyclic())
+	fmt.Fprintf(w, "  subsumed edges:  %d\n", st.Edges-reduced.NumEdges())
 	return nil
 }

@@ -20,8 +20,15 @@ type apiRequest struct {
 	// Hypergraph in HyperBench syntax: name(v1,v2,...) terms separated
 	// by commas.
 	Hypergraph string `json:"hypergraph"`
-	// K is the width bound (required, ≥ 1).
+	// Mode selects the problem: "decide" (default) answers hw ≤ k,
+	// "optimal" computes hw exactly over widths 1..k with the racer.
+	Mode string `json:"mode,omitempty"`
+	// K is the width bound (required, ≥ 1); the search ceiling in
+	// optimal mode.
 	K int `json:"k"`
+	// MaxProbes bounds concurrent width probes in optimal mode (0 picks
+	// the default ladder width).
+	MaxProbes int `json:"max_probes,omitempty"`
 	// Workers caps this job's search parallelism (0 = service default).
 	Workers int `json:"workers,omitempty"`
 	// TimeoutMS tightens the server's per-job timeout in milliseconds
@@ -55,6 +62,15 @@ type apiResponse struct {
 	Stats       *htd.SolverStats `json:"stats,omitempty"`
 	Error       string           `json:"error,omitempty"`
 	TimedOut    bool             `json:"timed_out,omitempty"`
+
+	// Optimal-mode fields: the proven lower bound (sound even on
+	// timeouts), where it came from ("probe", "memo", "trivial"), and
+	// the racer's probe accounting.
+	LowerBound      int    `json:"lower_bound,omitempty"`
+	LowerBoundFrom  string `json:"lower_bound_from,omitempty"`
+	ProbesLaunched  int    `json:"probes_launched,omitempty"`
+	ProbesCancelled int    `json:"probes_cancelled,omitempty"`
+	BoundsShared    bool   `json:"bounds_shared,omitempty"`
 
 	// err keeps the underlying error for status-code mapping; the wire
 	// carries only Error.
@@ -107,9 +123,18 @@ func parseRequest(a apiRequest) (htd.ServiceRequest, error) {
 	req = htd.ServiceRequest{
 		H:               h,
 		K:               a.K,
+		MaxProbes:       a.MaxProbes,
 		Workers:         a.Workers,
 		Timeout:         time.Duration(a.TimeoutMS) * time.Millisecond,
 		HybridThreshold: a.HybridThreshold,
+	}
+	switch a.Mode {
+	case "", "decide":
+		req.Mode = htd.ModeDecide
+	case "optimal":
+		req.Mode = htd.ModeOptimal
+	default:
+		return req, fmt.Errorf("unknown mode %q (want decide or optimal)", a.Mode)
 	}
 	switch a.Hybrid {
 	case "", "none":
@@ -131,10 +156,15 @@ func (s *server) runJob(ctx context.Context, a apiRequest) *apiResponse {
 	}
 	res := s.svc.Submit(ctx, req)
 	resp := &apiResponse{
-		OK:          res.OK,
-		ElapsedMS:   float64(res.Elapsed) / float64(time.Millisecond),
-		CacheShared: res.CacheShared,
-		Stats:       &res.Stats,
+		OK:              res.OK,
+		ElapsedMS:       float64(res.Elapsed) / float64(time.Millisecond),
+		CacheShared:     res.CacheShared,
+		Stats:           &res.Stats,
+		LowerBound:      res.LowerBound,
+		LowerBoundFrom:  res.LowerBoundFrom,
+		ProbesLaunched:  res.ProbesLaunched,
+		ProbesCancelled: res.ProbesCancelled,
+		BoundsShared:    res.BoundsShared,
 	}
 	if res.Err != nil {
 		resp.Error = res.Err.Error()

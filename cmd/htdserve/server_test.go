@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -89,6 +90,108 @@ func TestServeDecomposeEndToEnd(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
 		}
+	}
+}
+
+func TestServeOptimalMode(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// Optimal mode on a width-3 prism (cylinder): exact width, valid
+	// tree, proven lower bound with probe provenance.
+	var b strings.Builder
+	for i := 0; i < 8; i++ {
+		j := (i + 1) % 8
+		fmt.Fprintf(&b, "ra%d(a%d,a%d), rb%d(b%d,b%d), rr%d(a%d,b%d), ", i, i, j, i, i, j, i, i, i)
+	}
+	body, _ := json.Marshal(map[string]any{
+		"hypergraph": strings.TrimSuffix(strings.TrimSpace(b.String()), ",") + ".",
+		"k":          6,
+		"mode":       "optimal",
+	})
+	resp, out := postJSON(t, ts.URL+"/decompose", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !out.OK || out.Width != 3 || out.Tree == nil {
+		t.Fatalf("optimal result: %+v", out)
+	}
+	if out.LowerBound != 3 || out.LowerBoundFrom != "probe" {
+		t.Fatalf("lower bound %d from %q, want 3 from probe", out.LowerBound, out.LowerBoundFrom)
+	}
+	if out.ProbesLaunched < 3 {
+		t.Fatalf("probes launched %d, want >= 3", out.ProbesLaunched)
+	}
+
+	// A second optimal request on the same structure starts from the
+	// cached bounds.
+	_, again := postJSON(t, ts.URL+"/decompose", string(body))
+	if !again.OK || again.Width != 3 {
+		t.Fatalf("repeat optimal request: %+v", again)
+	}
+	if !again.BoundsShared || again.LowerBoundFrom != "memo" {
+		t.Fatalf("repeat should reuse cached bounds: shared=%v from=%q",
+			again.BoundsShared, again.LowerBoundFrom)
+	}
+
+	// /stats surfaces the optimal-mode counters.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st htd.ServiceStats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.OptimalJobs != 2 || st.ProbesLaunched == 0 || st.BoundsReuses != 1 {
+		t.Fatalf("optimal stats not surfaced: %+v", st)
+	}
+
+	// An unknown mode is a 400.
+	resp, _ = postJSON(t, ts.URL+"/decompose",
+		`{"hypergraph":"r1(x,y).","k":2,"mode":"nope"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown mode: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServeStatsReportsCancellationsByWidth(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// A wide race on an easy instance: probes at widths above the
+	// optimum are launched and then cancelled as moot. Cancellation is
+	// timing-dependent, so drive a few rounds and only require the
+	// stats plumbing (not a specific count) to hold.
+	line, _ := json.Marshal(map[string]any{
+		"hypergraph": "r1(x0,x1), r2(x1,x2), r3(x2,x3), r4(x3,x4), r5(x4,x5), r6(x5,x0).",
+		"k":          6,
+		"mode":       "optimal",
+		"max_probes": 6,
+	})
+	for i := 0; i < 3; i++ {
+		if _, out := postJSON(t, ts.URL+"/decompose", string(line)); !out.OK || out.Width != 2 {
+			t.Fatalf("round %d: %+v", i, out)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		ProbesCancelled  int64            `json:"ProbesCancelled"`
+		CancelledByWidth map[string]int64 `json:"CancelledByWidth"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, n := range st.CancelledByWidth {
+		sum += n
+	}
+	if sum != st.ProbesCancelled {
+		t.Fatalf("per-width cancellations (%d) disagree with total (%d): %v",
+			sum, st.ProbesCancelled, st.CancelledByWidth)
 	}
 }
 

@@ -1,10 +1,12 @@
 // Command probe is a scratch tool for calibrating the benchmark suite:
-// it measures which instance families separate the methods.
+// it measures which instance families separate the methods, including
+// the optimal-width racer against the serial ladders.
 package main
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"time"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/logk"
 	"repro/internal/opt"
+	"repro/internal/race"
 )
 
 func cylinder(n int) *hypergraph.Hypergraph {
@@ -74,8 +77,9 @@ func chordedDense(n, stride int) *hypergraph.Hypergraph {
 	return b.Build()
 }
 
-func probe(name string, h *hypergraph.Hypergraph, kmax int, budget time.Duration) {
-	fmt.Printf("%-22s |E|=%-4d |V|=%-4d ", name, h.NumEdges(), h.NumVertices())
+// probe runs every method on h and writes one comparison line to w.
+func probe(w io.Writer, name string, h *hypergraph.Hypergraph, kmax int, budget time.Duration) {
+	fmt.Fprintf(w, "%-22s |E|=%-4d |V|=%-4d ", name, h.NumEdges(), h.NumVertices())
 	type method struct {
 		name string
 		run  func(ctx context.Context, k int) (bool, error)
@@ -118,35 +122,68 @@ func probe(name string, h *hypergraph.Hypergraph, kmax int, budget time.Duration
 		} else if width > 0 {
 			status = fmt.Sprintf("w<=%d?", width)
 		}
-		fmt.Printf(" %s:%-8s %5.2fs |", m.name, status, time.Since(start).Seconds())
+		fmt.Fprintf(w, " %s:%-8s %5.2fs |", m.name, status, time.Since(start).Seconds())
+	}
+	// race: the full budget covers the whole race, not one width.
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(kmax)*budget)
+	res, err := race.New(h, race.Config{KMax: kmax, MaxProbes: 3, Workers: 8,
+		Hybrid: logk.HybridWeightedCount, HybridThreshold: 40}).Solve(ctx)
+	cancel()
+	if err == nil && res.Found {
+		fmt.Fprintf(w, " race:w=%d %5.2fs |", res.Width, time.Since(start).Seconds())
+	} else {
+		fmt.Fprintf(w, " race:UNSOLVED %5.2fs |", time.Since(start).Seconds())
 	}
 	// opt
-	start := time.Now()
-	ctx, cancel := context.WithTimeout(context.Background(), budget)
-	w, _, ok, _ := opt.New(h, kmax).Solve(ctx)
+	start = time.Now()
+	ctx, cancel = context.WithTimeout(context.Background(), budget)
+	ow, _, ok, _ := opt.New(h, kmax).Solve(ctx)
 	cancel()
 	if ok {
-		fmt.Printf(" opt:w=%d %5.2fs", w, time.Since(start).Seconds())
+		fmt.Fprintf(w, " opt:w=%d %5.2fs", ow, time.Since(start).Seconds())
 	} else {
-		fmt.Printf(" opt:UNSOLVED %5.2fs", time.Since(start).Seconds())
+		fmt.Fprintf(w, " opt:UNSOLVED %5.2fs", time.Since(start).Seconds())
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
+}
+
+// defaultSuite writes the standard calibration sweep to w.
+func defaultSuite(w io.Writer, budget time.Duration) {
+	probe(w, "cylinder(20)", cylinder(20), 6, budget)
+	probe(w, "cylinder(30)", cylinder(30), 6, budget)
+	probe(w, "grid(4,10)", grid(4, 10), 6, budget)
+	probe(w, "grid(4,15)", grid(4, 15), 6, budget)
+	probe(w, "grid(5,12)", grid(5, 12), 6, budget)
+	probe(w, "cliqueChain(8,5)", cliqueChain(8, 5), 6, budget)
+	probe(w, "cliqueChain(10,4)", cliqueChain(10, 4), 6, budget)
+	probe(w, "chordedDense(60,4)", chordedDense(60, 4), 6, budget)
+	probe(w, "chordedDense(80,5)", chordedDense(80, 5), 6, budget)
+}
+
+// dispatch routes the CLI: "profile <k> [n]" writes a CPU profile, no
+// arguments runs the calibration sweep.
+func dispatch(args []string, w io.Writer) error {
+	if len(args) > 1 && args[0] == "profile" {
+		k, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("probe profile: bad width %q: %w", args[1], err)
+		}
+		n := 20
+		if len(args) > 2 {
+			if v, err := strconv.Atoi(args[2]); err == nil {
+				n = v
+			}
+		}
+		return profileRun(w, k, n, os.TempDir())
+	}
+	defaultSuite(w, 500*time.Millisecond)
+	return nil
 }
 
 func main() {
-	if len(os.Args) > 2 && os.Args[1] == "profile" {
-		k, _ := strconv.Atoi(os.Args[2])
-		profileRun(k)
-		return
+	if err := dispatch(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	budget := 500 * time.Millisecond
-	probe("cylinder(20)", cylinder(20), 6, budget)
-	probe("cylinder(30)", cylinder(30), 6, budget)
-	probe("grid(4,10)", grid(4, 10), 6, budget)
-	probe("grid(4,15)", grid(4, 15), 6, budget)
-	probe("grid(5,12)", grid(5, 12), 6, budget)
-	probe("cliqueChain(8,5)", cliqueChain(8, 5), 6, budget)
-	probe("cliqueChain(10,4)", cliqueChain(10, 4), 6, budget)
-	probe("chordedDense(60,4)", chordedDense(60, 4), 6, budget)
-	probe("chordedDense(80,5)", chordedDense(80, 5), 6, budget)
 }

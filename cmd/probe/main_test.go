@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProbeEndToEnd runs one probe line on a tiny instance and checks
+// that every method column (including the racer) reports the known
+// width within a generous budget.
+func TestProbeEndToEnd(t *testing.T) {
+	var out strings.Builder
+	probe(&out, "cylinder(6)", cylinder(6), 4, 5*time.Second)
+	got := out.String()
+	if !strings.Contains(got, "cylinder(6)") || !strings.Contains(got, "|E|=18") {
+		t.Fatalf("instance header wrong:\n%s", got)
+	}
+	for _, col := range []string{"detk:w=3", "hyb:w=3", "logk:w=3", "race:w=3", "opt:w=3"} {
+		if !strings.Contains(got, col) {
+			t.Errorf("column %q missing:\n%s", col, got)
+		}
+	}
+}
+
+func TestDispatchDefaultAndErrors(t *testing.T) {
+	// Bad profile width must error without running anything.
+	var out strings.Builder
+	if err := dispatch([]string{"profile", "notanumber"}, &out); err == nil {
+		t.Fatal("bad profile width must error")
+	}
+}
+
+func TestDispatchProfile(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := profileRun(&out, 1, 6, dir); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "k=1 ok=false") {
+		t.Fatalf("cylinder(6) at k=1 must be refuted:\n%s", got)
+	}
+	prof := filepath.Join(dir, "logk_k1.prof")
+	if st, err := os.Stat(prof); err != nil || st.Size() == 0 {
+		t.Fatalf("profile not written: %v", err)
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	if h := cylinder(8); h.NumEdges() != 24 || h.NumVertices() != 16 {
+		t.Fatalf("cylinder(8): |E|=%d |V|=%d", h.NumEdges(), h.NumVertices())
+	}
+	if h := grid(3, 4); h.NumEdges() != 17 || h.NumVertices() != 12 {
+		t.Fatalf("grid(3,4): |E|=%d |V|=%d", h.NumEdges(), h.NumVertices())
+	}
+	if h := cliqueChain(3, 4); h.NumVertices() != 10 {
+		t.Fatalf("cliqueChain(3,4): |V|=%d, want 10 (shared articulation vertices)", h.NumVertices())
+	}
+	if h := chordedDense(12, 3); h.NumEdges() != 16 {
+		t.Fatalf("chordedDense(12,3): |E|=%d", h.NumEdges())
+	}
+}

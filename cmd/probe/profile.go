@@ -3,30 +3,28 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
-	"strconv"
 	"time"
 
 	"repro/internal/logk"
 )
 
-// profileRun writes a CPU profile of one plain log-k-decomp run; invoked
-// via `go run ./cmd/probe profile <k> [n]`.
-func profileRun(k int) {
-	n := 20
-	if len(os.Args) > 3 {
-		if v, err := strconv.Atoi(os.Args[3]); err == nil {
-			n = v
-		}
-	}
+// profileRun writes a CPU profile of one plain log-k-decomp run on
+// cylinder(n) into dir; invoked via `go run ./cmd/probe profile <k> [n]`.
+func profileRun(w io.Writer, k, n int, dir string) error {
 	h := cylinder(n)
-	f, err := os.Create(fmt.Sprintf("/tmp/logk_k%d.prof", k))
+	path := filepath.Join(dir, fmt.Sprintf("logk_k%d.prof", k))
+	f, err := os.Create(path)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	defer f.Close()
-	pprof.StartCPUProfile(f)
+	if err := pprof.StartCPUProfile(f); err != nil {
+		return err
+	}
 	defer pprof.StopCPUProfile()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -34,5 +32,7 @@ func profileRun(k int) {
 	s := logk.New(h, logk.Options{K: k, Workers: 1})
 	start := time.Now()
 	_, ok, err := s.Decompose(ctx)
-	fmt.Printf("k=%d ok=%v err=%v in %v stats=%+v\n", k, ok, err, time.Since(start), s.Stats())
+	fmt.Fprintf(w, "k=%d ok=%v err=%v in %v stats=%+v\nprofile: %s\n",
+		k, ok, err, time.Since(start), s.Stats(), path)
+	return nil
 }

@@ -1,6 +1,9 @@
 // scaling: a miniature of the paper's Figure 1 — measure how the
 // log-k-decomp separator search speeds up with the number of workers on
-// a single instance.
+// a single instance, and how width racing stacks on top: at each worker
+// count the serial k = 1..k ladder is raced against the optimal-width
+// racer, which proves the refutations and finds the witness
+// concurrently instead of one width at a time.
 //
 // Run with: go run ./examples/scaling [-n 36] [-k 3]
 package main
@@ -16,6 +19,7 @@ import (
 
 	"repro/internal/hypergraph"
 	"repro/internal/logk"
+	"repro/internal/race"
 )
 
 func main() {
@@ -27,7 +31,8 @@ func main() {
 	fmt.Printf("instance: cylinder(%d) — %d edges, %d vertices, k = %d\n",
 		*n, h.NumEdges(), h.NumVertices(), *k)
 	fmt.Printf("machine: GOMAXPROCS = %d\n\n", runtime.GOMAXPROCS(0))
-	fmt.Printf("%-8s  %-12s  %s\n", "workers", "time", "speedup")
+	fmt.Printf("%-8s  %-12s  %-8s  %-12s  %s\n",
+		"workers", "serial", "speedup", "racer", "vs-serial")
 
 	var base time.Duration
 	for _, workers := range []int{1, 2, 4, 8} {
@@ -38,7 +43,7 @@ func main() {
 		// solve: refuting widths 1..k-1 plus finding the width-k HD.
 		// Refutations explore the entire separator search space, which
 		// is where partitioning it across workers pays off. Median of 3.
-		var times []time.Duration
+		var serialTimes, racerTimes []time.Duration
 		for rep := 0; rep < 3; rep++ {
 			start := time.Now()
 			for kk := 1; kk <= *k; kk++ {
@@ -52,14 +57,33 @@ func main() {
 					log.Fatalf("workers=%d: unexpected verdict at k=%d (ok=%v)", workers, kk, ok)
 				}
 			}
-			times = append(times, time.Since(start))
+			serialTimes = append(serialTimes, time.Since(start))
+
+			// The racer does the same work — refute 1..k-1, witness k —
+			// but the probes run concurrently with shared bounds.
+			start = time.Now()
+			res, err := race.New(h, race.Config{
+				KMax: *k, MaxProbes: *k, Workers: workers,
+				Hybrid: logk.HybridWeightedCount, HybridThreshold: 40,
+			}).Solve(context.Background())
+			if err != nil {
+				log.Fatalf("racer workers=%d: %v", workers, err)
+			}
+			if !res.Found || res.Width != *k {
+				log.Fatalf("racer workers=%d: found=%v width=%d, want %d",
+					workers, res.Found, res.Width, *k)
+			}
+			racerTimes = append(racerTimes, time.Since(start))
 		}
-		med := median(times)
+		serial, racer := median(serialTimes), median(racerTimes)
 		if workers == 1 {
-			base = med
+			base = serial
 		}
-		fmt.Printf("%-8d  %-12v  %.2fx\n", workers, med.Round(time.Microsecond),
-			float64(base)/float64(med))
+		fmt.Printf("%-8d  %-12v  %-8s  %-12v  %.2fx\n",
+			workers, serial.Round(time.Microsecond),
+			fmt.Sprintf("%.2fx", float64(base)/float64(serial)),
+			racer.Round(time.Microsecond),
+			float64(serial)/float64(racer))
 	}
 }
 

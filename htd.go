@@ -34,6 +34,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/logk"
 	"repro/internal/opt"
+	"repro/internal/race"
 	"repro/internal/service"
 )
 
@@ -113,9 +114,35 @@ func DecomposeGHD(ctx context.Context, h *Hypergraph, k, subedgeOrder int) (*Dec
 }
 
 // OptimalWidth computes hw(H) exactly (searching widths 1..maxK) and a
-// witness decomposition. ok is false when hw(H) > maxK.
+// witness decomposition. ok is false when hw(H) > maxK. It probes
+// widths serially with the det-k-style exact solver; DecomposeOptimal
+// is the parallel racing equivalent.
 func OptimalWidth(ctx context.Context, h *Hypergraph, maxK int) (int, *Decomposition, bool, error) {
 	return opt.New(h, maxK).Solve(ctx)
+}
+
+// RaceOptions configures DecomposeOptimal / DecomposeOptimalResult; see
+// the field docs of the underlying type. The zero value (plus KMax)
+// races up to three width probes with sequential search inside each.
+type RaceOptions = race.Config
+
+// RaceResult is the full outcome of a width race, including the proven
+// lower bound, its provenance, and per-probe reports.
+type RaceResult = race.Result
+
+// DecomposeOptimal computes hw(H) exactly by racing width probes
+// concurrently: probes share a live lower/upper bound pair, probes made
+// moot by a sibling's result are cancelled, and refutations of smaller
+// widths are proven in parallel with the witness search instead of
+// serially before it. ok is false when hw(H) > opts.KMax.
+func DecomposeOptimal(ctx context.Context, h *Hypergraph, opts RaceOptions) (int, *Decomposition, bool, error) {
+	return race.Optimal(ctx, h, opts)
+}
+
+// DecomposeOptimalResult is DecomposeOptimal returning the full race
+// report (bound provenance, per-probe outcomes, cancellation counts).
+func DecomposeOptimalResult(ctx context.Context, h *Hypergraph, opts RaceOptions) (RaceResult, error) {
+	return race.New(h, opts).Solve(ctx)
 }
 
 // Service runs decompositions as a managed concurrent service: jobs
@@ -136,6 +163,18 @@ type ServiceResult = service.Result
 
 // ServiceStats is a snapshot of Service-wide counters.
 type ServiceStats = service.Stats
+
+// ServiceMode selects what a Service job computes.
+type ServiceMode = service.Mode
+
+// Service job modes.
+const (
+	// ModeDecide answers hw(H) ≤ K (the default).
+	ModeDecide = service.ModeDecide
+	// ModeOptimal computes hw(H) exactly over widths 1..K with the
+	// racing optimal-width pipeline.
+	ModeOptimal = service.ModeOptimal
+)
 
 // Service sentinel errors.
 var (

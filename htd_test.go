@@ -99,6 +99,47 @@ func TestBuilderPublic(t *testing.T) {
 	}
 }
 
+func TestDecomposeOptimalPublic(t *testing.T) {
+	h, _ := ParseString(triangleSrc)
+	w, d, ok, err := DecomposeOptimal(context.Background(), h, RaceOptions{KMax: 4, MaxProbes: 2})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if w != 2 {
+		t.Fatalf("optimal width = %d, want 2", w)
+	}
+	if err := Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateWidth(d, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := DecomposeOptimalResult(context.Background(), h, RaceOptions{KMax: 4})
+	if err != nil || !res.Found || res.Width != 2 {
+		t.Fatalf("found=%v width=%d err=%v", res.Found, res.Width, err)
+	}
+	if res.LowerBound != 2 || res.LowerBoundFrom.String() != "probe" {
+		t.Fatalf("lower bound %d from %v", res.LowerBound, res.LowerBoundFrom)
+	}
+}
+
+func TestServiceOptimalModePublic(t *testing.T) {
+	svc := NewService(ServiceConfig{TokenBudget: 2, MaxConcurrent: 4})
+	defer svc.Close()
+	h, _ := ParseString(triangleSrc)
+	res := svc.Submit(context.Background(), ServiceRequest{H: h, K: 4, Mode: ModeOptimal})
+	if res.Err != nil || !res.OK || res.Width != 2 {
+		t.Fatalf("ok=%v width=%d err=%v", res.OK, res.Width, res.Err)
+	}
+	if err := Validate(res.Decomp); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.OptimalJobs != 1 {
+		t.Fatalf("OptimalJobs=%d, want 1", st.OptimalJobs)
+	}
+}
+
 // TestServicePublicAPI drives htd.Service end to end: 32 concurrent
 // submissions over a shared budget, then a batch, then stats.
 func TestServicePublicAPI(t *testing.T) {

@@ -40,10 +40,29 @@ func shortName(m string) string {
 		return "LogK"
 	case "log-k-decomp Hybrid":
 		return "Hyb"
+	case "log-k-decomp Race":
+		return "Race"
 	case "BalancedGo(GHD)":
 		return "BalGo"
 	}
 	return m
+}
+
+// provenanceNote summarises lower-bound provenance over the racing
+// method's solved results ("" when no racing method ran): how many
+// optimality proofs came from fresh probe refutations vs cached bounds.
+func provenanceNote(results []Result) string {
+	counts := map[string]int{}
+	for _, r := range results {
+		if r.Solved && r.LBSource != "" {
+			counts[r.LBSource]++
+		}
+	}
+	if len(counts) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("Race lower-bound provenance (solved): probe=%d memo=%d trivial=%d",
+		counts["probe"], counts["memo"], counts["trivial"])
 }
 
 // Table1 reproduces Table 1: solved counts and runtime statistics per
@@ -54,6 +73,7 @@ func Table1(ctx context.Context, cfg Config) (*Table, []Result) {
 		MethodDetK(),
 		MethodOpt(),
 		MethodLogKHybrid(cfg.Workers, logk.HybridWeightedCount, 40),
+		MethodRacer(cfg.Workers, 0),
 	}
 	results := cfg.runner().RunAll(ctx, methods, cfg.Suite, cfg.Progress)
 
@@ -104,6 +124,9 @@ func Table1(ctx context.Context, cfg Config) (*Table, []Result) {
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("timeout/run: %s, widths 1..%d; runtimes averaged over solved instances only",
 			cfg.Timeout, cfg.KMax))
+	if note := provenanceNote(results); note != "" {
+		t.Notes = append(t.Notes, note)
+	}
 	return t, results
 }
 
@@ -262,6 +285,7 @@ func Table3(ctx context.Context, cfg Config) (*Table, []Result) {
 		MethodDetK(),
 		MethodOpt(),
 		MethodLogKHybrid(cfg.Workers, logk.HybridWeightedCount, 40),
+		MethodRacer(cfg.Workers, 0),
 	}
 	results := cfg.runner().RunAll(ctx, methods, cfg.Suite, cfg.Progress)
 

@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"repro/internal/hyperbench"
+	"repro/internal/hypergraph"
 	"repro/internal/logk"
+	"repro/internal/race"
 )
 
 // tinySuite returns a handful of instances with fast solves.
@@ -51,6 +53,49 @@ func TestRunOptimalMethod(t *testing.T) {
 	}
 	if !res.Solved || res.Width != 2 {
 		t.Fatalf("solved=%v width=%d", res.Solved, res.Width)
+	}
+}
+
+func TestRunRaceMethod(t *testing.T) {
+	r := &Runner{Timeout: 10 * time.Second, KMax: 4}
+	res := r.Run(context.Background(), MethodRacer(2, 3), cycleInstance(8))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Solved || res.Width != 2 {
+		t.Fatalf("cycle(8): solved=%v width=%d, want solved at width 2", res.Solved, res.Width)
+	}
+	if res.Bounds[1] != No || res.Bounds[2] != Yes || res.Bounds[3] != Yes {
+		t.Fatalf("bounds wrong: %v", res.Bounds)
+	}
+	if res.LBSource != "probe" {
+		t.Fatalf("lower-bound provenance %q, want probe", res.LBSource)
+	}
+}
+
+// TestRunRaceValidatesBeforeCountingSolved: the racer's claim is not
+// trusted — the harness re-checks the witness with the independent
+// checker, exactly like the width-parameterised methods. A method whose
+// racer returns a corrupted report must not count as solved.
+func TestRunRaceValidatesBeforeCountingSolved(t *testing.T) {
+	r := &Runner{Timeout: 10 * time.Second, KMax: 4}
+	in := cycleInstance(8)
+	lying := Method{
+		Name: "lying-racer",
+		SolveRace: func(ctx context.Context, h *hypergraph.Hypergraph, kMax int) (race.Result, error) {
+			res, err := race.New(h, race.Config{KMax: kMax}).Solve(ctx)
+			if err == nil && res.Found {
+				res.Width = 1 // claim a width the witness does not have
+			}
+			return res, err
+		},
+	}
+	res := r.Run(context.Background(), lying, in)
+	if res.Err == nil {
+		t.Fatal("invalid racer claim must surface as a validation error")
+	}
+	if res.Solved {
+		t.Fatal("invalid racer claim must not count as solved")
 	}
 }
 

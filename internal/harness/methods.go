@@ -9,6 +9,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/logk"
 	"repro/internal/opt"
+	"repro/internal/race"
 )
 
 // The standard method roster of the evaluation. Names follow the paper.
@@ -65,6 +66,27 @@ func MethodNamed(name string, workers int, metric logk.HybridMetric, threshold f
 	m := MethodLogKHybrid(workers, metric, threshold)
 	m.Name = name
 	return m
+}
+
+// MethodRacer is the parallel optimal-width pipeline: concurrent width
+// probes with shared bound propagation and moot-probe cancellation
+// (internal/race), hybridised like the paper's headline configuration.
+// Unlike the width-parameterised rosters it needs no external k ladder:
+// one run per instance finds the optimum and refutes everything below
+// it, which is exactly the §5.1 "solved" criterion.
+func MethodRacer(workers, maxProbes int) Method {
+	return Method{
+		Name: "log-k-decomp Race",
+		SolveRace: func(ctx context.Context, h *hypergraph.Hypergraph, kMax int) (race.Result, error) {
+			return race.New(h, race.Config{
+				KMax:            kMax,
+				MaxProbes:       maxProbes,
+				Workers:         workers,
+				Hybrid:          logk.HybridWeightedCount,
+				HybridThreshold: 40,
+			}).Solve(ctx)
+		},
+	}
 }
 
 // MethodBalancedGo is the GHD comparison system of §5.2.

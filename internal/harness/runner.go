@@ -20,6 +20,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/hyperbench"
 	"repro/internal/hypergraph"
+	"repro/internal/race"
 )
 
 // WidthSolver decides hw(H) ≤ k for a fixed k and materialises an HD.
@@ -28,7 +29,7 @@ type WidthSolver interface {
 }
 
 // Method is one decomposition approach under evaluation. Exactly one of
-// NewParam and SolveOptimal must be set.
+// NewParam, SolveOptimal and SolveRace must be set.
 type Method struct {
 	Name string
 	// NewParam constructs a width-parameterised solver (det-k, log-k, …).
@@ -36,6 +37,9 @@ type Method struct {
 	// SolveOptimal runs a direct optimal-width solver (the HtdLEO-style
 	// method, which takes no width parameter).
 	SolveOptimal func(ctx context.Context, h *hypergraph.Hypergraph, kMax int) (int, *decomp.Decomp, bool, error)
+	// SolveRace runs the width-racing optimal pipeline and returns the
+	// full race report, including lower-bound provenance.
+	SolveRace func(ctx context.Context, h *hypergraph.Hypergraph, kMax int) (race.Result, error)
 	// GHD marks methods whose output is validated as a generalized
 	// hypertree decomposition (no special condition).
 	GHD bool
@@ -68,6 +72,10 @@ type Result struct {
 	TimedOut bool
 	// Bounds[k] is the decision state for hw ≤ k, k = 1..KMax.
 	Bounds map[int]BoundState
+	// LBSource records how a racing method proved its lower bound:
+	// "probe" (refuted during the run), "memo" (cached bounds) or
+	// "trivial" (optimum was width 1). Empty for non-racing methods.
+	LBSource string
 	// Err records validation failures or internal errors (never expected).
 	Err error
 }
@@ -86,6 +94,9 @@ type Runner struct {
 
 // Run evaluates one method on one instance.
 func (r *Runner) Run(ctx context.Context, m Method, in hyperbench.Instance) Result {
+	if m.SolveRace != nil {
+		return r.runRace(ctx, m, in)
+	}
 	if m.SolveOptimal != nil {
 		return r.runOptimal(ctx, m, in)
 	}
@@ -174,6 +185,76 @@ func (r *Runner) runOptimal(ctx context.Context, m Method, in hyperbench.Instanc
 		for k := 1; k <= r.KMax; k++ {
 			res.Bounds[k] = No
 		}
+	}
+	return res
+}
+
+// runRace evaluates a width-racing optimal method. The racer's own
+// bookkeeping claims a width and a proven lower bound; the harness
+// applies the same rule as for width-parameterised methods and trusts
+// neither until the returned decomposition passes the independent
+// checker. Partial bounds (widths refuted before a timeout) are still
+// banked into Bounds, with provenance recorded in LBSource.
+func (r *Runner) runRace(ctx context.Context, m Method, in hyperbench.Instance) Result {
+	res := Result{Instance: in, Method: m.Name, Bounds: map[int]BoundState{}}
+	runCtx, cancel := context.WithTimeout(ctx, r.Timeout)
+	defer cancel()
+	start := time.Now()
+	rr, err := m.SolveRace(runCtx, in.H, r.KMax)
+	res.Runtime = time.Since(start)
+
+	// The race report is meaningful even on error: lower bounds proven
+	// before the deadline are sound refutations.
+	for k := 1; k < rr.LowerBound && k <= r.KMax; k++ {
+		res.Bounds[k] = No
+	}
+	// A witness claim is banked only after it passes the independent
+	// checker — the racer's say-so is never trusted, exactly as runParam
+	// validates before recording Yes.
+	witnessValid := false
+	if rr.BestWidth > 0 && rr.Decomp != nil {
+		if r.SkipValidation {
+			witnessValid = true
+		} else if verr := validate(rr.Decomp, rr.BestWidth, m.GHD); verr != nil {
+			res.Err = fmt.Errorf("harness: %s on %s: %w", m.Name, in.Name, verr)
+		} else {
+			witnessValid = true
+		}
+	}
+	if witnessValid {
+		for k := rr.BestWidth; k <= r.KMax; k++ {
+			res.Bounds[k] = Yes
+		}
+		res.Width = rr.BestWidth
+	}
+	for k := 1; k <= r.KMax; k++ {
+		if _, ok := res.Bounds[k]; !ok {
+			res.Bounds[k] = Unknown
+		}
+	}
+	res.LBSource = rr.LowerBoundFrom.String()
+	if res.Err != nil {
+		return res
+	}
+
+	switch {
+	case err != nil && runCtx.Err() != nil:
+		res.TimedOut = true
+		if ctx.Err() != nil {
+			res.Err = ctx.Err()
+		}
+	case err != nil:
+		res.Err = err
+	case rr.Found:
+		// The witness was validated against BestWidth above; a racer
+		// whose claimed optimum disagrees with its own witness is
+		// rejected here.
+		if !witnessValid || rr.Width != rr.BestWidth {
+			res.Err = fmt.Errorf("harness: %s on %s: racer claims width %d but witness has width %d",
+				m.Name, in.Name, rr.Width, rr.BestWidth)
+			return res
+		}
+		res.Solved = true
 	}
 	return res
 }

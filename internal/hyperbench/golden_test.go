@@ -1,0 +1,89 @@
+package hyperbench
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden suite fingerprint")
+
+// goldenFingerprint renders the suite as one line per instance: name,
+// origin, Table-1 bucket, claimed width, and the structural content
+// hash. Any change to naming, binning, KnownHW planting, or the
+// generated structure itself changes the fingerprint.
+func goldenFingerprint(suite []Instance) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HyperBench-sim suite fingerprint: Scale=1 Seed=2022, %d instances\n", len(suite))
+	for _, in := range suite {
+		fmt.Fprintf(&b, "%s|%s|%s|E=%d|V=%d|hw=%d|%s\n",
+			in.Name, in.Origin, SizeBucket(in.Edges()),
+			in.Edges(), in.H.NumVertices(), in.KnownHW, in.H.ContentHash())
+	}
+	return b.String()
+}
+
+// TestSuiteMatchesGolden pins the Table-1 binning against refactors:
+// the same config must yield a byte-identical instance suite. Refresh
+// intentionally with `go test ./internal/hyperbench -run Golden -update`.
+func TestSuiteMatchesGolden(t *testing.T) {
+	got := goldenFingerprint(Suite(Config{Scale: 1, Seed: 2022}))
+	path := filepath.Join("testdata", "suite_scale1_seed2022.golden")
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s", path)
+		return
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Pinpoint the first diverging line for a readable failure.
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("suite diverges from golden at line %d:\n  got:  %s\n  want: %s\n"+
+				"(intentional generator change? refresh with -update)", i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("suite length diverges from golden: got %d lines, want %d (refresh with -update)",
+		len(gotLines), len(wantLines))
+}
+
+// TestGoldenFingerprintSensitivity guards the fingerprint itself: it
+// must react to the fields the golden test claims to pin.
+func TestGoldenFingerprintSensitivity(t *testing.T) {
+	suite := Suite(Config{Scale: 1, Seed: 2022})
+	base := goldenFingerprint(suite)
+
+	renamed := make([]Instance, len(suite))
+	copy(renamed, suite)
+	renamed[0].Name = "tampered"
+	if goldenFingerprint(renamed) == base {
+		t.Fatal("fingerprint ignores instance names")
+	}
+
+	rewidth := make([]Instance, len(suite))
+	copy(rewidth, suite)
+	rewidth[0].KnownHW = rewidth[0].KnownHW + 1
+	if goldenFingerprint(rewidth) == base {
+		t.Fatal("fingerprint ignores KnownHW")
+	}
+
+	if goldenFingerprint(Suite(Config{Scale: 1, Seed: 2023})) == base {
+		t.Fatal("fingerprint ignores the seed")
+	}
+}

@@ -1,6 +1,9 @@
 package logk
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // TokenSource supplies the extra-worker tokens that parallel search
 // splits draw from (Appendix D.1). A Solver created without one gets a
@@ -30,6 +33,57 @@ type MemoBackend interface {
 	// (e.g. when full): the memo is a pure acceleration.
 	Insert(key string)
 }
+
+// NewTokenPool returns a standalone TokenSource holding n tokens. It is
+// the same pool a Solver creates privately; exporting a constructor lets
+// callers that run several Solvers side by side (width-probe racing, ad
+// hoc batch drivers) share one pool without depending on the service
+// layer's budget type.
+func NewTokenPool(n int) TokenSource {
+	if n < 0 {
+		n = 0
+	}
+	return newChanTokens(n)
+}
+
+// GatedTokens wraps a TokenSource with a shut-off gate, the probe
+// cancellation hook used by width-bound racing: when a sibling probe's
+// result makes this probe moot, closing the gate makes the probe stop
+// acquiring new search workers immediately — before its context
+// cancellation has propagated into the inner search loops — so the freed
+// parallelism flows to the surviving probes instead of a walking-dead
+// search. Releases always pass through, so no token is ever stranded.
+type GatedTokens struct {
+	src    TokenSource
+	closed atomic.Bool
+}
+
+// NewGatedTokens wraps src; a nil src yields an always-empty source.
+func NewGatedTokens(src TokenSource) *GatedTokens {
+	return &GatedTokens{src: src}
+}
+
+// TryAcquire implements TokenSource; it grants nothing once closed.
+func (g *GatedTokens) TryAcquire(max int) int {
+	if g.src == nil || g.closed.Load() {
+		return 0
+	}
+	return g.src.TryAcquire(max)
+}
+
+// Release implements TokenSource.
+func (g *GatedTokens) Release(n int) {
+	if g.src != nil {
+		g.src.Release(n)
+	}
+}
+
+// Close shuts the gate. It is safe to call concurrently with acquires
+// and more than once.
+func (g *GatedTokens) Close() { g.closed.Store(true) }
+
+// Closed reports whether the gate has been shut.
+func (g *GatedTokens) Closed() bool { return g.closed.Load() }
 
 // chanTokens is the default TokenSource: a private channel-based pool,
 // matching the pre-injection Solver behaviour.

@@ -1,0 +1,85 @@
+package service
+
+import "sync"
+
+// boundsStore caches proven width bounds per hypergraph content hash,
+// the width-level complement of the state-level negative memo: a
+// refutation of width k is a property of the graph alone, so any later
+// job on a structurally identical hypergraph can start its optimal
+// search at lb = k+1, and a witnessed width w means no probe above w is
+// ever worth launching. Optimal-mode jobs read their starting bounds
+// here and write their final (or partial, on timeout) bounds back.
+type boundsStore struct {
+	mu    sync.Mutex
+	max   int
+	m     map[string]*boundsEntry
+	clock int64
+}
+
+// boundsEntry is one graph's known bounds: widths < lb are refuted,
+// and ub > 0 means an HD of width ub has been witnessed.
+type boundsEntry struct {
+	lb      int
+	ub      int
+	lastUse int64
+}
+
+func newBoundsStore(maxGraphs int) *boundsStore {
+	return &boundsStore{max: maxGraphs, m: make(map[string]*boundsEntry)}
+}
+
+// get returns the cached bounds for hash; ok is false when nothing is
+// known. ub == 0 means no witnessed width.
+func (b *boundsStore) get(hash string) (lb, ub int, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.m[hash]
+	if e == nil {
+		return 0, 0, false
+	}
+	b.clock++
+	e.lastUse = b.clock
+	return e.lb, e.ub, true
+}
+
+// update merges new knowledge: the lower bound only ever rises, the
+// witnessed width only ever falls. lb ≤ 1 and ub ≤ 0 are no-ops for
+// their side. Insertion evicts the least recently used entry beyond
+// the cap.
+func (b *boundsStore) update(hash string, lb, ub int) {
+	if lb <= 1 && ub <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.clock++
+	e := b.m[hash]
+	if e == nil {
+		if len(b.m) >= b.max {
+			var oldestKey string
+			oldest := int64(1<<63 - 1)
+			for k, cand := range b.m {
+				if cand.lastUse < oldest {
+					oldest, oldestKey = cand.lastUse, k
+				}
+			}
+			delete(b.m, oldestKey)
+		}
+		e = &boundsEntry{}
+		b.m[hash] = e
+	}
+	e.lastUse = b.clock
+	if lb > e.lb {
+		e.lb = lb
+	}
+	if ub > 0 && (e.ub == 0 || ub < e.ub) {
+		e.ub = ub
+	}
+}
+
+// len reports how many graphs have cached bounds.
+func (b *boundsStore) len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.m)
+}

@@ -28,7 +28,28 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/hypergraph"
 	"repro/internal/logk"
+	"repro/internal/race"
 )
+
+// Mode selects what a job computes.
+type Mode int
+
+const (
+	// ModeDecide answers the decision problem hw(H) ≤ K and returns a
+	// witness on yes — the original service behaviour.
+	ModeDecide Mode = iota
+	// ModeOptimal computes hw(H) exactly (searching widths 1..K) with
+	// the width racer: concurrent probes share live bounds, moot probes
+	// are cancelled, refutations feed the cross-request caches.
+	ModeOptimal
+)
+
+func (m Mode) String() string {
+	if m == ModeOptimal {
+		return "optimal"
+	}
+	return "decide"
+}
 
 // ErrOverloaded is returned when the waiting queue is full and the job
 // was rejected by admission control.
@@ -92,8 +113,15 @@ func (c Config) withDefaults() Config {
 type Request struct {
 	// H is the hypergraph to decompose (required).
 	H *hypergraph.Hypergraph
-	// K is the width bound (required, ≥ 1).
+	// Mode selects the problem: ModeDecide (default) answers hw(H) ≤ K,
+	// ModeOptimal computes hw(H) exactly over widths 1..K.
+	Mode Mode
+	// K is the width bound (required, ≥ 1). In ModeOptimal it is the
+	// search ceiling KMax.
 	K int
+	// MaxProbes bounds concurrent width probes in ModeOptimal (0 picks
+	// the racer default).
+	MaxProbes int
 	// Workers caps this job's search parallelism; 0 uses the service
 	// default. Actual parallelism is further bounded by the shared
 	// token budget.
@@ -127,6 +155,24 @@ type Result struct {
 	// CacheShared reports that the job found an existing cross-request
 	// memo table for its hypergraph and width.
 	CacheShared bool
+
+	// The fields below are populated by ModeOptimal jobs only.
+
+	// Width is the exact hypertree width when OK.
+	Width int
+	// LowerBound is the largest proven bound: all widths < LowerBound
+	// are refuted. Meaningful even when the job timed out.
+	LowerBound int
+	// LowerBoundFrom is the provenance of the final lower bound:
+	// "probe" (refuted during this job), "memo" (cached bounds from an
+	// earlier job) or "trivial" (optimum was width 1).
+	LowerBoundFrom string
+	// ProbesLaunched and ProbesCancelled count the job's width probes
+	// and how many of them were killed as moot by a sibling's result.
+	ProbesLaunched  int
+	ProbesCancelled int
+	// BoundsShared reports that the job started from cached bounds.
+	BoundsShared bool
 }
 
 // Stats is a snapshot of service-wide counters.
@@ -146,6 +192,15 @@ type Stats struct {
 	MemoEntries int64 // memoised dead states across all tables
 	CacheReuses int64 // jobs that found an existing memo table
 
+	OptimalJobs     int64 // ModeOptimal jobs run
+	ProbesLaunched  int64 // width probes launched by optimal jobs
+	ProbesCancelled int64 // probes killed as moot by sibling results
+	BoundsGraphs    int64 // graphs with cached width bounds
+	BoundsReuses    int64 // optimal jobs that started from cached bounds
+	// CancelledByWidth breaks ProbesCancelled down per width bound k
+	// (the /stats payload the operators watch to see racing pay off).
+	CancelledByWidth map[int]int64
+
 	// Solver aggregates per-job solver counters over all finished jobs
 	// (sums; MaxDepth is the maximum observed).
 	Solver logk.Stats
@@ -157,6 +212,7 @@ type Service struct {
 	cfg    Config
 	budget *TokenBudget
 	memos  *memoStore
+	bounds *boundsStore
 	slots  chan struct{}
 
 	mu     sync.Mutex // guards closed + jobs Add
@@ -170,21 +226,30 @@ type Service struct {
 	running   atomic.Int64
 	waiting   atomic.Int64
 
+	optimalJobs     atomic.Int64
+	probesLaunched  atomic.Int64
+	probesCancelled atomic.Int64
+	boundsReuses    atomic.Int64
+
 	agg struct {
 		sync.Mutex
-		stats logk.Stats
+		stats            logk.Stats
+		cancelledByWidth map[int]int64
 	}
 }
 
 // New returns a Service with the given configuration.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:    cfg,
 		budget: NewTokenBudget(cfg.TokenBudget),
 		memos:  newMemoStore(cfg.MemoMaxGraphs, int64(cfg.MemoMaxEntries)),
+		bounds: newBoundsStore(cfg.MemoMaxGraphs),
 		slots:  make(chan struct{}, cfg.MaxConcurrent),
 	}
+	s.agg.cancelledByWidth = make(map[int]int64)
+	return s
 }
 
 // Budget exposes the shared token pool (read-only use: sizing, stats).
@@ -268,6 +333,10 @@ func (s *Service) run(ctx context.Context, req Request) Result {
 		workers = max
 	}
 
+	if req.Mode == ModeOptimal {
+		return s.runOptimal(ctx, req, workers)
+	}
+
 	opts := logk.Options{
 		K:               req.K,
 		Workers:         workers,
@@ -289,16 +358,7 @@ func (s *Service) run(ctx context.Context, req Request) Result {
 	res.Decomp, res.OK, res.Err = d, ok, err
 	res.Stats = solver.Stats()
 
-	s.agg.Lock()
-	s.agg.stats.Candidates += res.Stats.Candidates
-	s.agg.stats.ParentCands += res.Stats.ParentCands
-	s.agg.stats.HybridCalls += res.Stats.HybridCalls
-	s.agg.stats.TokensGrabbed += res.Stats.TokensGrabbed
-	s.agg.stats.MemoHits += res.Stats.MemoHits
-	if res.Stats.MaxDepth > s.agg.stats.MaxDepth {
-		s.agg.stats.MaxDepth = res.Stats.MaxDepth
-	}
-	s.agg.Unlock()
+	s.addSolverStats(res.Stats, nil)
 
 	if err != nil {
 		s.failed.Add(1)
@@ -306,6 +366,108 @@ func (s *Service) run(ctx context.Context, req Request) Result {
 		s.completed.Add(1)
 	}
 	return res
+}
+
+// runOptimal executes an admitted ModeOptimal job: a width race over
+// 1..K sharing the service's worker budget and caches. Refutations are
+// banked twice — state-level in the per-width memo tables, width-level
+// in the bounds store — so later jobs on the same structure start from
+// tighter bounds whether they decide or optimise.
+func (s *Service) runOptimal(ctx context.Context, req Request, workers int) Result {
+	s.optimalJobs.Add(1)
+	cfg := race.Config{
+		KMax:            req.K,
+		MaxProbes:       req.MaxProbes,
+		Workers:         workers,
+		Hybrid:          req.Hybrid,
+		HybridThreshold: req.HybridThreshold,
+		Tokens:          s.budget,
+	}
+	var res Result
+	var hash string
+	if !req.NoSharedMemo {
+		hash = req.H.ContentHash()
+		cfg.MemoFor = func(k int) logk.MemoBackend {
+			table, existed := s.memos.get(hash, k)
+			if existed {
+				res.CacheShared = true
+			}
+			return table
+		}
+		if lb, ub, ok := s.bounds.get(hash); ok {
+			cfg.LowerBound = lb
+			cfg.UpperBoundHint = ub
+			res.BoundsShared = true
+			s.boundsReuses.Add(1)
+		}
+	}
+
+	start := time.Now()
+	rr, err := race.New(req.H, cfg).Solve(ctx)
+	res.Elapsed = time.Since(start)
+	res.Err = err
+	res.OK = err == nil && rr.Found
+	res.Width = rr.Width
+	res.LowerBound = rr.LowerBound
+	res.LowerBoundFrom = rr.LowerBoundFrom.String()
+	res.ProbesLaunched = len(rr.Probes)
+	res.ProbesCancelled = rr.Cancelled
+	if res.OK {
+		res.Decomp = rr.Decomp
+	}
+
+	cancelledByWidth := make(map[int]int64)
+	for _, p := range rr.Probes {
+		res.Stats.Candidates += p.Stats.Candidates
+		res.Stats.ParentCands += p.Stats.ParentCands
+		res.Stats.HybridCalls += p.Stats.HybridCalls
+		res.Stats.TokensGrabbed += p.Stats.TokensGrabbed
+		res.Stats.MemoHits += p.Stats.MemoHits
+		if p.Stats.MaxDepth > res.Stats.MaxDepth {
+			res.Stats.MaxDepth = p.Stats.MaxDepth
+		}
+		if p.Outcome == race.Cancelled {
+			cancelledByWidth[p.K]++
+		}
+	}
+	s.probesLaunched.Add(int64(len(rr.Probes)))
+	s.probesCancelled.Add(int64(rr.Cancelled))
+	s.addSolverStats(res.Stats, cancelledByWidth)
+
+	// Bank what this job proved, even partially on timeout: the lower
+	// bound is sound regardless, the witnessed width only when found.
+	if !req.NoSharedMemo {
+		ub := 0
+		if rr.BestWidth > 0 {
+			ub = rr.BestWidth
+		}
+		s.bounds.update(hash, rr.LowerBound, ub)
+	}
+
+	if err != nil {
+		s.failed.Add(1)
+	} else {
+		s.completed.Add(1)
+	}
+	return res
+}
+
+// addSolverStats merges one job's solver counters (and optionally its
+// per-width cancellation counts) into the service-wide aggregates.
+func (s *Service) addSolverStats(st logk.Stats, cancelledByWidth map[int]int64) {
+	s.agg.Lock()
+	s.agg.stats.Candidates += st.Candidates
+	s.agg.stats.ParentCands += st.ParentCands
+	s.agg.stats.HybridCalls += st.HybridCalls
+	s.agg.stats.TokensGrabbed += st.TokensGrabbed
+	s.agg.stats.MemoHits += st.MemoHits
+	if st.MaxDepth > s.agg.stats.MaxDepth {
+		s.agg.stats.MaxDepth = st.MaxDepth
+	}
+	for k, n := range cancelledByWidth {
+		s.agg.cancelledByWidth[k] += n
+	}
+	s.agg.Unlock()
 }
 
 // Batch runs all requests and returns results in request order. It
@@ -343,21 +505,31 @@ func (s *Service) Stats() Stats {
 	graphs, entries := s.memos.counts()
 	s.agg.Lock()
 	solver := s.agg.stats
+	cancelled := make(map[int]int64, len(s.agg.cancelledByWidth))
+	for k, n := range s.agg.cancelledByWidth {
+		cancelled[k] = n
+	}
 	s.agg.Unlock()
 	return Stats{
-		Submitted:       s.submitted.Load(),
-		Completed:       s.completed.Load(),
-		Failed:          s.failed.Load(),
-		Rejected:        s.rejected.Load(),
-		Running:         s.running.Load(),
-		Waiting:         s.waiting.Load(),
-		TokenBudget:     int64(s.budget.Size()),
-		TokensInUse:     int64(s.budget.InUse()),
-		TokensHighWater: int64(s.budget.HighWater()),
-		MemoGraphs:      int64(graphs),
-		MemoEntries:     entries,
-		CacheReuses:     s.memos.reuses.Load(),
-		Solver:          solver,
+		Submitted:        s.submitted.Load(),
+		Completed:        s.completed.Load(),
+		Failed:           s.failed.Load(),
+		Rejected:         s.rejected.Load(),
+		Running:          s.running.Load(),
+		Waiting:          s.waiting.Load(),
+		TokenBudget:      int64(s.budget.Size()),
+		TokensInUse:      int64(s.budget.InUse()),
+		TokensHighWater:  int64(s.budget.HighWater()),
+		MemoGraphs:       int64(graphs),
+		MemoEntries:      entries,
+		CacheReuses:      s.memos.reuses.Load(),
+		OptimalJobs:      s.optimalJobs.Load(),
+		ProbesLaunched:   s.probesLaunched.Load(),
+		ProbesCancelled:  s.probesCancelled.Load(),
+		BoundsGraphs:     int64(s.bounds.len()),
+		BoundsReuses:     s.boundsReuses.Load(),
+		CancelledByWidth: cancelled,
+		Solver:           solver,
 	}
 }
 

@@ -195,6 +195,201 @@ func TestMemoSharingUnderConcurrency(t *testing.T) {
 	}
 }
 
+func cylinderH(n int) *hypergraph.Hypergraph {
+	var b hypergraph.Builder
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		b.MustAddEdge("", "a"+strconv.Itoa(i), "a"+strconv.Itoa(j))
+		b.MustAddEdge("", "b"+strconv.Itoa(i), "b"+strconv.Itoa(j))
+		b.MustAddEdge("", "a"+strconv.Itoa(i), "b"+strconv.Itoa(i))
+	}
+	return b.Build()
+}
+
+// TestOptimalMode: a ModeOptimal job computes the exact width with a
+// valid witness, proves the bound below it, and reports racer effort.
+func TestOptimalMode(t *testing.T) {
+	svc := New(Config{TokenBudget: 3, MaxConcurrent: 4})
+	defer svc.Close()
+
+	res := svc.Submit(context.Background(), Request{H: cylinderH(10), K: 6, Mode: ModeOptimal})
+	if res.Err != nil || !res.OK {
+		t.Fatalf("ok=%v err=%v", res.OK, res.Err)
+	}
+	if res.Width != 3 {
+		t.Fatalf("width %d, want 3 (cylinder)", res.Width)
+	}
+	if err := decomp.CheckHD(res.Decomp); err != nil {
+		t.Fatalf("invalid witness: %v", err)
+	}
+	if err := decomp.CheckWidth(res.Decomp, 3); err != nil {
+		t.Fatal(err)
+	}
+	if res.LowerBound != 3 || res.LowerBoundFrom != "probe" {
+		t.Fatalf("lower bound %d from %q, want 3 from probe", res.LowerBound, res.LowerBoundFrom)
+	}
+	if res.ProbesLaunched < 3 {
+		t.Fatalf("launched %d probes, want at least one per width 1..3", res.ProbesLaunched)
+	}
+	st := svc.Stats()
+	if st.OptimalJobs != 1 || st.ProbesLaunched == 0 {
+		t.Fatalf("optimal counters not populated: %+v", st)
+	}
+	if st.BoundsGraphs == 0 {
+		t.Fatal("the job's bounds should be banked for later requests")
+	}
+}
+
+// TestOptimalBoundsSharedAcrossRequests: a second optimal job on a
+// structurally identical hypergraph must start from the first job's
+// bounds — memo provenance, no probes outside the pinned width.
+func TestOptimalBoundsSharedAcrossRequests(t *testing.T) {
+	svc := New(Config{TokenBudget: 2, MaxConcurrent: 4})
+	defer svc.Close()
+	ctx := context.Background()
+
+	first := svc.Submit(ctx, Request{H: cycle(12), K: 4, Mode: ModeOptimal})
+	if first.Err != nil || !first.OK || first.Width != 2 {
+		t.Fatalf("first: ok=%v width=%d err=%v", first.OK, first.Width, first.Err)
+	}
+	if first.BoundsShared || first.LowerBoundFrom != "probe" {
+		t.Fatalf("first job cannot start from cached bounds (shared=%v from=%q)",
+			first.BoundsShared, first.LowerBoundFrom)
+	}
+
+	// Same structure, different names: content hash matches.
+	var b hypergraph.Builder
+	for i := 0; i < 12; i++ {
+		b.MustAddEdge("S"+strconv.Itoa(i), "y"+strconv.Itoa(i), "y"+strconv.Itoa((i+1)%12))
+	}
+	second := svc.Submit(ctx, Request{H: b.Build(), K: 4, Mode: ModeOptimal})
+	if second.Err != nil || !second.OK || second.Width != 2 {
+		t.Fatalf("second: ok=%v width=%d err=%v", second.OK, second.Width, second.Err)
+	}
+	if !second.BoundsShared {
+		t.Fatal("second job should find the cached bounds")
+	}
+	if second.LowerBoundFrom != "memo" {
+		t.Fatalf("second job's lower bound from %q, want memo", second.LowerBoundFrom)
+	}
+	if second.ProbesLaunched != 1 {
+		t.Fatalf("second job launched %d probes, want exactly 1 (width pinned to 2)", second.ProbesLaunched)
+	}
+	if st := svc.Stats(); st.BoundsReuses != 1 {
+		t.Fatalf("BoundsReuses=%d, want 1", st.BoundsReuses)
+	}
+}
+
+// TestOptimalRefutationsFeedDecideJobs: widths refuted by an optimal
+// race must accelerate a later plain decide job at that width via the
+// shared negative memo.
+func TestOptimalRefutationsFeedDecideJobs(t *testing.T) {
+	svc := New(Config{TokenBudget: 2, MaxConcurrent: 4})
+	defer svc.Close()
+	ctx := context.Background()
+
+	opt := svc.Submit(ctx, Request{H: cycle(12), K: 3, Mode: ModeOptimal})
+	if opt.Err != nil || !opt.OK || opt.Width != 2 {
+		t.Fatalf("optimal: ok=%v width=%d err=%v", opt.OK, opt.Width, opt.Err)
+	}
+	// The race refuted width 1; a decide job at K=1 must hit the shared
+	// memo table and answer without searching.
+	dec := svc.Submit(ctx, Request{H: cycle(12), K: 1})
+	if dec.Err != nil || dec.OK {
+		t.Fatalf("decide: ok=%v err=%v", dec.OK, dec.Err)
+	}
+	if !dec.CacheShared || dec.Stats.MemoHits == 0 {
+		t.Fatalf("decide job should reuse the race's refutation (shared=%v hits=%d)",
+			dec.CacheShared, dec.Stats.MemoHits)
+	}
+	if dec.Stats.Candidates != 0 {
+		t.Fatalf("decide searched %d candidates despite a dead root state", dec.Stats.Candidates)
+	}
+}
+
+// TestOptimalUnderConcurrentLoad: optimal and decide jobs racing
+// together must stay within the global token budget and all answer
+// correctly — the serving-layer guarantee the ISSUE's acceptance
+// criterion checks under -race.
+func TestOptimalUnderConcurrentLoad(t *testing.T) {
+	const budget = 3
+	svc := New(Config{TokenBudget: budget, MaxConcurrent: 8, MaxQueue: 256})
+	defer svc.Close()
+
+	type job struct {
+		req       Request
+		wantOK    bool
+		wantWidth int // 0 = don't check
+	}
+	jobs := []job{
+		{Request{H: cycle(16), K: 4, Mode: ModeOptimal}, true, 2},
+		{Request{H: cylinderH(8), K: 5, Mode: ModeOptimal, MaxProbes: 4}, true, 3},
+		{Request{H: grid(3), K: 2}, true, 0},
+		{Request{H: cycle(24), K: 1}, false, 0},
+	}
+	const rounds = 6
+	results := make([]Result, rounds*len(jobs))
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for i := range jobs {
+			wg.Add(1)
+			go func(slot int, j job) {
+				defer wg.Done()
+				results[slot] = svc.Submit(context.Background(), j.req)
+			}(r*len(jobs)+i, jobs[i])
+		}
+	}
+	wg.Wait()
+
+	for idx, res := range results {
+		j := jobs[idx%len(jobs)]
+		if res.Err != nil {
+			t.Fatalf("job %d: %v", idx, res.Err)
+		}
+		if res.OK != j.wantOK {
+			t.Fatalf("job %d: ok=%v want %v", idx, res.OK, j.wantOK)
+		}
+		if j.wantWidth > 0 && res.Width != j.wantWidth {
+			t.Fatalf("job %d: width=%d want %d", idx, res.Width, j.wantWidth)
+		}
+		if res.OK {
+			if err := decomp.CheckHD(res.Decomp); err != nil {
+				t.Fatalf("job %d: %v", idx, err)
+			}
+		}
+	}
+	st := svc.Stats()
+	if st.TokensHighWater > budget {
+		t.Fatalf("token budget exceeded under racing load: %d > %d", st.TokensHighWater, budget)
+	}
+	if st.TokensInUse != 0 {
+		t.Fatalf("tokens leaked: %d in use after drain", st.TokensInUse)
+	}
+	if st.OptimalJobs != 2*rounds {
+		t.Fatalf("OptimalJobs=%d, want %d", st.OptimalJobs, 2*rounds)
+	}
+}
+
+// TestBoundsStoreUnit exercises merge and eviction directly.
+func TestBoundsStoreUnit(t *testing.T) {
+	b := newBoundsStore(2)
+	b.update("g1", 2, 0)
+	b.update("g1", 3, 5)
+	b.update("g1", 2, 4) // lb cannot regress, ub improves
+	if lb, ub, ok := b.get("g1"); !ok || lb != 3 || ub != 4 {
+		t.Fatalf("g1: lb=%d ub=%d ok=%v, want 3/4/true", lb, ub, ok)
+	}
+	b.update("g2", 2, 2)
+	b.update("g3", 4, 0) // evicts the LRU entry
+	if b.len() != 2 {
+		t.Fatalf("store holds %d entries, cap is 2", b.len())
+	}
+	b.update("g4", 1, 0) // no knowledge: must be a no-op
+	if _, _, ok := b.get("g4"); ok {
+		t.Fatal("trivial bounds must not be cached")
+	}
+}
+
 // TestAdmissionControl: with one slot and a one-deep queue, once a slow
 // job runs and another waits, further submissions must be rejected
 // immediately with ErrOverloaded.
