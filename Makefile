@@ -2,8 +2,11 @@
 # `make ci` means a green CI run.
 
 GO ?= go
+# Benchmark artifact produced by `make bench` and uploaded by CI; bump
+# per PR so artifacts stay comparable across the perf trajectory.
+BENCH_JSON ?= BENCH_PR3.json
 
-.PHONY: all build fmt fmt-check vet test race bench fuzz serve ci
+.PHONY: all build fmt fmt-check vet test race bench stress fuzz serve ci
 
 all: build
 
@@ -29,7 +32,10 @@ race:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
-	$(GO) run ./cmd/benchtab -experiment race -benchjson BENCH_PR2.json -quiet
+	$(GO) run ./cmd/benchtab -experiment store -benchjson $(BENCH_JSON) -quiet
+
+stress:
+	$(GO) test -race -count=2 -run 'TestStoreStress|TestCoalescing|TestBatchDuplicates|TestSnapshot|TestServeCache|TestShardedConcurrency|TestFlight' ./internal/store ./internal/service ./cmd/htdserve
 
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecomposeCheckHD -fuzztime=10s .
@@ -37,4 +43,4 @@ fuzz:
 serve:
 	$(GO) run ./cmd/htdserve
 
-ci: fmt-check vet build race bench fuzz
+ci: fmt-check vet build race bench stress fuzz

@@ -9,12 +9,14 @@
 //	benchtab -experiment figure3 -csv scatter.csv
 //
 // Experiments: table1 table2 table3 table4 table5 figure1 figure3
-// ablation depth ghd race all
+// ablation depth ghd race store all
 //
 // The race experiment compares the serial k = 1..kmax width ladder
-// against the optimal-width racing service pipeline and, with
-// -benchjson, writes the measurements as a JSON benchmark artifact
-// (BENCH_PR2.json in CI) so the perf trajectory is tracked across PRs.
+// against the optimal-width racing service pipeline; the store
+// experiment measures the unified decomposition store (cold-vs-warm
+// repeat traffic and request coalescing). With -benchjson either one
+// writes its measurements as a JSON benchmark artifact (BENCH_PR3.json
+// in CI) so the perf trajectory is tracked across PRs.
 package main
 
 import (
@@ -137,6 +139,12 @@ func main() {
 				return err
 			}
 			fmt.Print(tab.Render())
+		case "store":
+			tab, err := storeExperiment(ctx, cfg, *benchJSON)
+			if err != nil {
+				return err
+			}
+			fmt.Print(tab.Render())
 		case "depth":
 			fmt.Print(harness.DepthExperiment(ctx, []int{16, 32, 64, 128, 256, 512}).Render())
 		case "ghd":
@@ -162,7 +170,7 @@ func main() {
 	names := []string{*experiment}
 	if *experiment == "all" {
 		names = []string{"table1", "table2", "table3", "table4", "table5",
-			"figure1", "figure3", "ablation", "depth", "ghd", "race"}
+			"figure1", "figure3", "ablation", "depth", "ghd", "race", "store"}
 	}
 	for _, n := range names {
 		if err := run(strings.TrimSpace(n)); err != nil {

@@ -26,8 +26,8 @@ type benchEntry struct {
 	Notes   string  `json:"notes,omitempty"`
 }
 
-// benchFile is the BENCH_PR2.json schema: a flat benchmark list plus
-// enough context to compare runs across machines.
+// benchFile is the benchmark-artifact schema (BENCH_PR3.json): a flat
+// benchmark list plus enough context to compare runs across machines.
 type benchFile struct {
 	Experiment  string       `json:"experiment"`
 	GeneratedBy string       `json:"generated_by"`
@@ -115,16 +115,22 @@ func raceExperiment(ctx context.Context, cfg harness.Config, rounds int, jsonPat
 		"race: optimal-mode service jobs under concurrent load; later rounds reuse banked bounds")
 
 	if jsonPath != "" {
-		data, err := json.MarshalIndent(out, "", "  ")
-		if err != nil {
-			return nil, err
-		}
-		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		if err := writeBenchJSON(jsonPath, out); err != nil {
 			return nil, err
 		}
 		t.Notes = append(t.Notes, "benchmark JSON written to "+jsonPath)
 	}
 	return t, nil
+}
+
+// writeBenchJSON serialises a benchmark artifact the same way for every
+// experiment (indented, trailing newline).
+func writeBenchJSON(path string, f benchFile) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // serialLadder times the pre-racer optimal pipeline: for each instance,

@@ -1,0 +1,239 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	htd "repro"
+	"repro/internal/harness"
+	"repro/internal/hyperbench"
+)
+
+// storeExperiment measures what the unified decomposition store buys a
+// serving process, per HyperBench-sim size bucket:
+//
+//   - cold vs warm: every instance is submitted as a ModeOptimal job
+//     against a fresh service (cold pass), then the identical traffic
+//     is replayed against the now-populated store (warm pass). Warm
+//     submissions are positive cache hits — a re-validated witness, no
+//     solver run — so the ratio is the headline number for repeat
+//     traffic.
+//   - coalescing: N identical requests submitted concurrently against
+//     a fresh service run one solver (singleflight), compared with the
+//     same N requests forced to solve independently (NoSharedMemo).
+//
+// With -benchjson the measurements are written as the benchmark JSON
+// artifact (BENCH_PR3.json in CI).
+func storeExperiment(ctx context.Context, cfg harness.Config, jsonPath string) (*harness.Table, error) {
+	type bucketRun struct {
+		bucket    string
+		instances []hyperbench.Instance
+	}
+	var runs []bucketRun
+	for _, bucket := range []string{"|E| <= 10", "10 < |E| <= 50"} {
+		var ins []hyperbench.Instance
+		for _, in := range cfg.Suite {
+			// Known moderate widths only, so every pass terminates at
+			// every timeout setting and solved counts are comparable.
+			if hyperbench.SizeBucket(in.Edges()) == bucket && in.KnownHW >= 1 && in.KnownHW <= 4 {
+				ins = append(ins, in)
+			}
+		}
+		if len(ins) > 0 {
+			runs = append(runs, bucketRun{bucket, ins})
+		}
+	}
+
+	out := benchFile{
+		Experiment:  "store",
+		GeneratedBy: "cmd/benchtab",
+		KMax:        cfg.KMax,
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+	}
+	t := &harness.Table{
+		Title: "Store: cold vs warm traffic and request coalescing",
+		Headers: []string{"Bucket", "N",
+			"cold-ms", "cold-solved", "warm-ms", "warm-hits", "warmup",
+			"solo8-ms", "flight8-ms", "coalesce"},
+	}
+
+	var totalCold, totalWarm float64
+	var totalN, totalSolved int
+	for _, br := range runs {
+		svc := newBenchService(cfg, len(br.instances))
+		coldMS, coldSolved, err := submitAll(ctx, svc, br.instances, cfg)
+		if err != nil {
+			svc.Close()
+			return nil, err
+		}
+		warmMS, warmSolved, err := submitAll(ctx, svc, br.instances, cfg)
+		st := svc.Stats()
+		svc.Close()
+		if err != nil {
+			return nil, err
+		}
+		if warmSolved != coldSolved {
+			return nil, fmt.Errorf("bucket %s: warm pass solved %d, cold pass %d", br.bucket, warmSolved, coldSolved)
+		}
+		warmup := coldMS / warmMS
+
+		soloMS, flightMS, flightRuns, err := coalesceProbe(ctx, br.instances[0], cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		n := len(br.instances)
+		totalCold += coldMS
+		totalWarm += warmMS
+		totalN += n
+		totalSolved += coldSolved
+		out.Benchmarks = append(out.Benchmarks,
+			benchEntry{
+				Name:    "store-cold/" + br.bucket,
+				NsPerOp: coldMS * 1e6 / float64(n),
+				Ops:     n, Solved: coldSolved, WallMS: coldMS,
+				Workers: cfg.Workers, Rounds: 1,
+				Notes: "first pass: empty store, every job runs the racing solver",
+			},
+			benchEntry{
+				Name:    "store-warm/" + br.bucket,
+				NsPerOp: warmMS * 1e6 / float64(n),
+				Ops:     n, Solved: warmSolved, WallMS: warmMS,
+				Workers: cfg.Workers, Rounds: 1,
+				Notes: fmt.Sprintf("identical repeat traffic: %d positive cache hits, 0 extra solver runs; %.1fx faster than cold", st.PositiveHits, warmup),
+			},
+			benchEntry{
+				Name:    "coalesce-solo/" + br.bucket,
+				NsPerOp: soloMS * 1e6 / 8,
+				Ops:     8, Solved: 8, WallMS: soloMS,
+				Workers: cfg.Workers, Rounds: 1,
+				Notes: "8 identical concurrent jobs, coalescing disabled (NoSharedMemo): 8 solver runs",
+			},
+			benchEntry{
+				Name:    "coalesce-flight/" + br.bucket,
+				NsPerOp: flightMS * 1e6 / 8,
+				Ops:     8, Solved: 8, WallMS: flightMS,
+				Workers: cfg.Workers, Rounds: 1,
+				Notes: fmt.Sprintf("8 identical concurrent jobs through the singleflight: %d solver run(s)", flightRuns),
+			})
+		t.AddRow(br.bucket, n,
+			fmt.Sprintf("%.1f", coldMS), coldSolved,
+			fmt.Sprintf("%.2f", warmMS), warmSolved,
+			fmt.Sprintf("%.0fx", warmup),
+			fmt.Sprintf("%.1f", soloMS),
+			fmt.Sprintf("%.1f", flightMS),
+			fmt.Sprintf("%.2fx", soloMS/flightMS))
+	}
+	if totalN > 0 && totalWarm > 0 {
+		out.Benchmarks = append(out.Benchmarks, benchEntry{
+			Name:    "store-warmup/suite",
+			NsPerOp: totalWarm * 1e6 / float64(totalN),
+			Ops:     totalN, Solved: totalSolved, WallMS: totalWarm,
+			Workers: cfg.Workers, Rounds: 1,
+			Notes: fmt.Sprintf("whole suite: cold %.1fms vs warm %.2fms = %.1fx", totalCold, totalWarm, totalCold/totalWarm),
+		})
+		t.AddRow("suite total", totalN,
+			fmt.Sprintf("%.1f", totalCold), totalSolved,
+			fmt.Sprintf("%.2f", totalWarm), totalSolved,
+			fmt.Sprintf("%.0fx", totalCold/totalWarm), "-", "-", "-")
+	}
+	t.Notes = append(t.Notes,
+		"cold: ModeOptimal jobs, concurrent submissions, empty store",
+		"warm: the identical traffic again; answered from the positive result cache (validated witnesses, no solver)",
+		"solo8/flight8: 8 copies of one instance submitted concurrently, without and with request coalescing")
+
+	if jsonPath != "" {
+		if err := writeBenchJSON(jsonPath, out); err != nil {
+			return nil, err
+		}
+		t.Notes = append(t.Notes, "benchmark JSON written to "+jsonPath)
+	}
+	return t, nil
+}
+
+// newBenchService builds the service every store-experiment pass uses.
+func newBenchService(cfg harness.Config, instances int) *htd.Service {
+	return htd.NewService(htd.ServiceConfig{
+		TokenBudget:    cfg.Workers,
+		MaxConcurrent:  4,
+		MaxQueue:       4*instances + 16,
+		DefaultTimeout: time.Duration(cfg.KMax) * cfg.Timeout,
+		MemoMaxGraphs:  2 * instances,
+	})
+}
+
+// submitAll submits every instance concurrently as a ModeOptimal job
+// and reports wall time and the number solved.
+func submitAll(ctx context.Context, svc *htd.Service, ins []hyperbench.Instance, cfg harness.Config) (ms float64, solved int, err error) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, in := range ins {
+		wg.Add(1)
+		go func(in hyperbench.Instance) {
+			defer wg.Done()
+			res := svc.Submit(ctx, htd.ServiceRequest{
+				H: in.H, K: cfg.KMax, Mode: htd.ModeOptimal,
+				Workers: cfg.Workers,
+				Hybrid:  htd.HybridWeightedCount, HybridThreshold: 40,
+			})
+			if res.Err == nil && res.OK {
+				mu.Lock()
+				solved++
+				mu.Unlock()
+			}
+		}(in)
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return 0, 0, ctx.Err()
+	}
+	return float64(time.Since(start)) / float64(time.Millisecond), solved, nil
+}
+
+// coalesceProbe times 8 identical concurrent decide jobs twice: forced
+// independent (NoSharedMemo) versus coalesced through the singleflight,
+// and reports how many solvers the coalesced side actually ran.
+func coalesceProbe(ctx context.Context, in hyperbench.Instance, cfg harness.Config) (soloMS, flightMS float64, flightRuns int64, err error) {
+	const dup = 8
+	k := in.KnownHW
+	if k < 1 {
+		k = 2
+	}
+	run := func(noShare bool) (float64, int64, error) {
+		svc := htd.NewService(htd.ServiceConfig{
+			TokenBudget:    cfg.Workers,
+			MaxConcurrent:  dup,
+			MaxQueue:       4 * dup,
+			DefaultTimeout: time.Duration(cfg.KMax) * cfg.Timeout,
+		})
+		defer svc.Close()
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < dup; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				svc.Submit(ctx, htd.ServiceRequest{
+					H: in.H, K: k, Workers: cfg.Workers,
+					Hybrid: htd.HybridWeightedCount, HybridThreshold: 40,
+					NoSharedMemo: noShare,
+				})
+			}()
+		}
+		wg.Wait()
+		if ctx.Err() != nil {
+			return 0, 0, ctx.Err()
+		}
+		return float64(time.Since(start)) / float64(time.Millisecond), svc.Stats().SolverRuns, nil
+	}
+	if soloMS, _, err = run(true); err != nil {
+		return 0, 0, 0, err
+	}
+	if flightMS, flightRuns, err = run(false); err != nil {
+		return 0, 0, 0, err
+	}
+	return soloMS, flightMS, flightRuns, nil
+}

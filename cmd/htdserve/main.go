@@ -1,18 +1,30 @@
 // Command htdserve serves hypertree decompositions over HTTP, backed by
 // htd.Service: a shared worker-token budget, admission control with
-// per-job timeouts, and a cross-request negative-memo cache.
+// per-job timeouts, and a unified sharded cross-request store (width
+// bounds, cached witness decompositions, negative-memo tables) with
+// request coalescing and snapshot persistence.
 //
 // Usage:
 //
 //	htdserve -addr :8080 [-budget 8] [-max-concurrent 8] [-timeout 30s]
+//	         [-snapshot cache.json] [-store-shards 16]
 //
 // Endpoints:
 //
-//	POST /decompose  one job; JSON body {"hypergraph":"r1(x,y), ...","k":2}
-//	POST /batch      NDJSON job lines in, NDJSON results out (streamed,
-//	                 input order)
-//	GET  /healthz    liveness probe
-//	GET  /stats      service counters (jobs, tokens, memo cache, solver)
+//	POST /decompose    one job; JSON body {"hypergraph":"r1(x,y), ...","k":2}
+//	POST /batch        NDJSON job lines in, NDJSON results out (streamed,
+//	                   input order)
+//	GET  /healthz      liveness probe
+//	GET  /stats        service counters (jobs, tokens, store, solver)
+//	GET  /cache        store introspection: counters + cached entries
+//	POST /cache/save   persist the store as a snapshot file
+//	POST /cache/load   merge a snapshot file into the store
+//	POST /cache/purge  drop all cached entries
+//
+// With -snapshot, the server preloads the snapshot on boot (if the file
+// exists) and saves it again on graceful shutdown, so restarts stay
+// warm: repeat submissions are answered from the restored cache without
+// a solver run.
 //
 // Try it:
 //
@@ -35,13 +47,15 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		budget     = flag.Int("budget", 0, "global extra-worker token budget (0 = GOMAXPROCS-1)")
-		maxConc    = flag.Int("max-concurrent", 0, "max jobs decomposing at once (0 = GOMAXPROCS)")
-		maxQueue   = flag.Int("max-queue", 0, "max jobs waiting before rejection (0 = 64)")
-		timeout    = flag.Duration("timeout", 30*time.Second, "default per-job timeout (0 = none)")
-		memoGraphs = flag.Int("memo-graphs", 0, "distinct (hypergraph, k) memo tables cached (0 = 32)")
-		memoEntry  = flag.Int("memo-entries", 0, "memoised states per table (0 = 1<<20)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		budget      = flag.Int("budget", 0, "global extra-worker token budget (0 = GOMAXPROCS-1)")
+		maxConc     = flag.Int("max-concurrent", 0, "max jobs decomposing at once (0 = GOMAXPROCS)")
+		maxQueue    = flag.Int("max-queue", 0, "max jobs waiting before rejection (0 = 64)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-job timeout (0 = none)")
+		storeShards = flag.Int("store-shards", 0, "lock stripes of the cross-request store (0 = 16)")
+		memoGraphs  = flag.Int("memo-graphs", 0, "hypergraphs cached in the store (0 = 32)")
+		memoEntry   = flag.Int("memo-entries", 0, "memoised states per (hypergraph, width) table (0 = 1<<20)")
+		snapshot    = flag.String("snapshot", "", "snapshot file: preloaded on boot, saved on graceful shutdown")
 	)
 	flag.Parse()
 
@@ -50,15 +64,33 @@ func main() {
 		MaxConcurrent:  *maxConc,
 		MaxQueue:       *maxQueue,
 		DefaultTimeout: *timeout,
+		StoreShards:    *storeShards,
 		MemoMaxGraphs:  *memoGraphs,
 		MemoMaxEntries: *memoEntry,
 	}
 	svc := htd.NewService(cfg)
+	if *snapshot != "" {
+		snap, err := htd.LoadSnapshotFile(*snapshot)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Fprintf(os.Stderr, "htdserve: no snapshot at %s yet, starting cold\n", *snapshot)
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "htdserve: snapshot %s: %v\n", *snapshot, err)
+			os.Exit(1)
+		default:
+			n, err := svc.Store().Import(snap)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "htdserve: import snapshot: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "htdserve: warm start, %d cached entries restored\n", n)
+		}
+	}
 	httpSrv := &http.Server{
 		Addr: *addr,
 		// The batch limit mirrors the service's effective concurrency so
 		// /batch feeds it at full rate without tripping admission control.
-		Handler:           newHandler(svc, svc.Config().MaxConcurrent),
+		Handler:           newHandler(svc, svc.Config().MaxConcurrent, *snapshot),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -77,6 +109,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "htdserve: shutdown: %v\n", err)
 		}
 		svc.Close()
+		if *snapshot != "" {
+			snap := svc.Store().Export()
+			if err := htd.SaveSnapshotFile(*snapshot, snap); err != nil {
+				fmt.Fprintf(os.Stderr, "htdserve: save snapshot: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "htdserve: snapshot saved to %s (%d entries)\n",
+					*snapshot, len(snap.Entries))
+			}
+		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "htdserve: %v\n", err)

@@ -7,7 +7,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -59,6 +62,8 @@ type apiResponse struct {
 	Rendering   string           `json:"rendering,omitempty"`
 	ElapsedMS   float64          `json:"elapsed_ms"`
 	CacheShared bool             `json:"cache_shared"`
+	CacheHit    bool             `json:"cache_hit,omitempty"`
+	Coalesced   bool             `json:"coalesced,omitempty"`
 	Stats       *htd.SolverStats `json:"stats,omitempty"`
 	Error       string           `json:"error,omitempty"`
 	TimedOut    bool             `json:"timed_out,omitempty"`
@@ -88,19 +93,26 @@ type server struct {
 	// once, so a large batch queues inside the handler instead of
 	// tripping the service's admission control.
 	batchLimit int
-	started    time.Time
+	// snapshotPath is the default file for /cache/save and /cache/load
+	// (the -snapshot flag); requests may override it per call.
+	snapshotPath string
+	started      time.Time
 }
 
-func newHandler(svc *htd.Service, batchLimit int) http.Handler {
+func newHandler(svc *htd.Service, batchLimit int, snapshotPath string) http.Handler {
 	if batchLimit < 1 {
 		batchLimit = 1
 	}
-	s := &server{svc: svc, batchLimit: batchLimit, started: time.Now()}
+	s := &server{svc: svc, batchLimit: batchLimit, snapshotPath: snapshotPath, started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /decompose", s.handleDecompose)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /cache", s.handleCache)
+	mux.HandleFunc("POST /cache/save", s.handleCacheSave)
+	mux.HandleFunc("POST /cache/load", s.handleCacheLoad)
+	mux.HandleFunc("POST /cache/purge", s.handleCachePurge)
 	return mux
 }
 
@@ -159,6 +171,8 @@ func (s *server) runJob(ctx context.Context, a apiRequest) *apiResponse {
 		OK:              res.OK,
 		ElapsedMS:       float64(res.Elapsed) / float64(time.Millisecond),
 		CacheShared:     res.CacheShared,
+		CacheHit:        res.CacheHit,
+		Coalesced:       res.Coalesced,
 		Stats:           &res.Stats,
 		LowerBound:      res.LowerBound,
 		LowerBoundFrom:  res.LowerBoundFrom,
@@ -263,6 +277,108 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// client the batch did not complete.
 		return
 	}
+}
+
+// cacheFileRequest is the JSON body of /cache/save and /cache/load; an
+// empty path falls back to the server's -snapshot flag.
+type cacheFileRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+// snapshotTarget resolves the snapshot file for a save/load request.
+// Per-request paths are confined to the directory of the -snapshot
+// flag: these are operational endpoints, and an HTTP body must never be
+// able to read or overwrite arbitrary files the server can reach.
+func (s *server) snapshotTarget(r *http.Request) (string, error) {
+	var req cacheFileRequest
+	if r.Body != nil {
+		// An empty body is fine; anything present must be valid JSON.
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+			return "", fmt.Errorf("invalid JSON: %w", err)
+		}
+	}
+	if s.snapshotPath == "" {
+		return "", errors.New("snapshot endpoints disabled: start htdserve with -snapshot")
+	}
+	if req.Path == "" {
+		return s.snapshotPath, nil
+	}
+	dir, err := filepath.Abs(filepath.Dir(s.snapshotPath))
+	if err != nil {
+		return "", err
+	}
+	path, err := filepath.Abs(req.Path)
+	if err != nil {
+		return "", fmt.Errorf("invalid path: %w", err)
+	}
+	if filepath.Dir(path) != dir {
+		return "", fmt.Errorf("path must stay in the -snapshot directory %s", dir)
+	}
+	return path, nil
+}
+
+// handleCache lists the store: backend counters plus up to ?max cached
+// entries (default 100) with bounds, witness width and memo summaries.
+func (s *server) handleCache(w http.ResponseWriter, r *http.Request) {
+	max := 100
+	if q := r.URL.Query().Get("max"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "invalid max")
+			return
+		}
+		max = n
+	}
+	st := s.svc.Store()
+	entries := []htd.StoreEntryInfo{}
+	if max > 0 {
+		// max=0 means counters only; Backend.Info's 0 means unbounded,
+		// which an HTTP query must never request implicitly.
+		entries = st.Info(max)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"store":   st.Stats(),
+		"entries": entries,
+	})
+}
+
+func (s *server) handleCacheSave(w http.ResponseWriter, r *http.Request) {
+	path, err := s.snapshotTarget(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	snap := s.svc.Store().Export()
+	if err := htd.SaveSnapshotFile(path, snap); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"saved": len(snap.Entries), "path": path})
+}
+
+func (s *server) handleCacheLoad(w http.ResponseWriter, r *http.Request) {
+	path, err := s.snapshotTarget(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	snap, err := htd.LoadSnapshotFile(path)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	n, err := s.svc.Store().Import(snap)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"restored": n, "path": path})
+}
+
+func (s *server) handleCachePurge(w http.ResponseWriter, r *http.Request) {
+	before := s.svc.Store().Stats().Entries
+	s.svc.Store().Purge()
+	writeJSON(w, http.StatusOK, map[string]any{"purged": before})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -15,13 +17,18 @@ import (
 
 func newTestServer(t *testing.T) (*httptest.Server, *htd.Service) {
 	t.Helper()
+	return newTestServerSnapshot(t, "")
+}
+
+func newTestServerSnapshot(t *testing.T, snapshotPath string) (*httptest.Server, *htd.Service) {
+	t.Helper()
 	svc := htd.NewService(htd.ServiceConfig{
 		TokenBudget:    2,
 		MaxConcurrent:  4,
 		MaxQueue:       64,
 		DefaultTimeout: 30 * time.Second,
 	})
-	ts := httptest.NewServer(newHandler(svc, 4))
+	ts := httptest.NewServer(newHandler(svc, 4, snapshotPath))
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Close()
@@ -283,5 +290,131 @@ func TestServeHealthzAndStats(t *testing.T) {
 	}
 	if st.TokenBudget != 2 {
 		t.Fatalf("token budget %d, want 2", st.TokenBudget)
+	}
+}
+
+// TestServeCacheEndpoints drives the store over HTTP: a repeat request
+// is a cache hit, GET /cache lists the entry, save/purge/load round the
+// state through a snapshot file, and a second server warm-starts from
+// it.
+func TestServeCacheEndpoints(t *testing.T) {
+	snapPath := filepath.Join(t.TempDir(), "cache.json")
+	ts, _ := newTestServerSnapshot(t, snapPath)
+	body := `{"hypergraph":"r1(x,y), r2(y,z), r3(z,x).","k":2}`
+
+	// First request solves; the repeat must be a validated cache hit.
+	if _, out := postJSON(t, ts.URL+"/decompose", body); !out.OK {
+		t.Fatalf("first request: %+v", out)
+	}
+	_, hit := postJSON(t, ts.URL+"/decompose", body)
+	if !hit.OK || !hit.CacheHit || hit.Tree == nil {
+		t.Fatalf("repeat request should be a cache hit with a tree: %+v", hit)
+	}
+
+	// GET /cache lists the cached entry with its bounds.
+	cresp, err := http.Get(ts.URL + "/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cresp.Body.Close()
+	var cache struct {
+		Store   htd.StoreStats       `json:"store"`
+		Entries []htd.StoreEntryInfo `json:"entries"`
+	}
+	if err := json.NewDecoder(cresp.Body).Decode(&cache); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Store.Entries != 1 || len(cache.Entries) != 1 {
+		t.Fatalf("cache listing: %+v", cache)
+	}
+	if !cache.Entries[0].HasTree || cache.Entries[0].Bounds.UB != 2 {
+		t.Fatalf("cached entry: %+v", cache.Entries[0])
+	}
+
+	// Save, purge (cold again), then load (warm again).
+	resp, save := postJSON(t, ts.URL+"/cache/save", `{}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("save: status %d %+v", resp.StatusCode, save)
+	}
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatalf("snapshot file not written: %v", err)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/cache/purge", ``); resp.StatusCode != http.StatusOK {
+		t.Fatalf("purge: status %d", resp.StatusCode)
+	}
+	_, cold := postJSON(t, ts.URL+"/decompose", body)
+	if cold.CacheHit {
+		t.Fatalf("request after purge cannot be a cache hit: %+v", cold)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/cache/load", `{}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("load: status %d", resp.StatusCode)
+	}
+
+	// A fresh server warm-starts from the same snapshot file.
+	ts2, svc2 := newTestServerSnapshot(t, snapPath)
+	if resp, _ := postJSON(t, ts2.URL+"/cache/load", ``); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm load: status %d", resp.StatusCode)
+	}
+	_, warm := postJSON(t, ts2.URL+"/decompose", body)
+	if !warm.OK || !warm.CacheHit {
+		t.Fatalf("warm-started server should answer from the snapshot: %+v", warm)
+	}
+	if st := svc2.Stats(); st.SolverRuns != 0 {
+		t.Fatalf("warm-started server ran %d solvers, want 0", st.SolverRuns)
+	}
+
+	// Save/load on a server started without -snapshot is a 400.
+	ts3, _ := newTestServer(t)
+	if resp, _ := postJSON(t, ts3.URL+"/cache/save", ``); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("pathless save: status %d, want 400", resp.StatusCode)
+	}
+	// Loading a missing file (in the allowed directory) is a 400, not a
+	// crash.
+	missing := `{"path":"` + filepath.Join(filepath.Dir(snapPath), "nope.json") + `"}`
+	if resp, _ := postJSON(t, ts.URL+"/cache/load", missing); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing-file load: status %d, want 400", resp.StatusCode)
+	}
+	// Paths outside the -snapshot directory are rejected: the HTTP body
+	// must not choose arbitrary filesystem targets.
+	for _, escape := range []string{
+		`{"path":"` + filepath.Join(t.TempDir(), "elsewhere.json") + `"}`,
+		`{"path":"` + filepath.Join(filepath.Dir(snapPath), "..", "escape.json") + `"}`,
+	} {
+		if resp, _ := postJSON(t, ts.URL+"/cache/save", escape); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("out-of-directory save %s: status %d, want 400", escape, resp.StatusCode)
+		}
+	}
+}
+
+// TestServeCoalescedBatch: duplicate lines in one /batch run a single
+// solver; every line still gets a full result.
+func TestServeCoalescedBatch(t *testing.T) {
+	ts, svc := newTestServer(t)
+	line := `{"hypergraph":"c1(a,b), c2(b,c), c3(c,d), c4(d,e), c5(e,f), c6(f,a).","k":2}`
+	lines := strings.Repeat(line+"\n", 4)
+	resp, err := http.Post(ts.URL+"/batch", "application/x-ndjson", strings.NewReader(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	n := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var r apiResponse
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatal(err)
+		}
+		if !r.OK || r.Width != 2 {
+			t.Fatalf("line %d: %+v", n, r)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("got %d results, want 4", n)
+	}
+	// Identical in-flight lines coalesce; late lines may instead hit
+	// the positive cache. Either way: exactly one solver ran.
+	if st := svc.Stats(); st.SolverRuns != 1 {
+		t.Fatalf("SolverRuns=%d, want 1 for four identical lines", st.SolverRuns)
 	}
 }

@@ -35,6 +35,9 @@ func FuzzDecomposeCheckHD(f *testing.F) {
 	f.Add("e1(a,b,c), e2(c,d), e3(d,a).", byte(2))
 	f.Add("p1(a,b), p2(b,c), p3(c,d).", byte(1))
 	f.Add("big(a,b,c,d), t1(a,x), t2(b,x), t3(c,y).", byte(1))
+	// Positive-cache seed: a satisfiable shape (hw = 2) whose repeat
+	// submission exercises the service's cached-witness path below.
+	f.Add("q1(u,v), q2(v,w), q3(w,u), q4(u,t), q5(t,v).", byte(2))
 
 	f.Fuzz(func(t *testing.T, src string, kb byte) {
 		h, err := ParseString(src)
@@ -116,6 +119,34 @@ func FuzzDecomposeCheckHD(f *testing.F) {
 		}
 		if verr := decomp.CheckWidth(res.Decomp, wantW); verr != nil {
 			t.Fatalf("racer witness exceeds optimum: %v\ninstance:\n%s", verr, h)
+		}
+
+		// Positive result cache: decompose the same graph twice through a
+		// service. The second submission must agree with the oracle, and
+		// when it is answered from the cache its witness must survive the
+		// independent CheckHD checker again.
+		svc := NewService(ServiceConfig{TokenBudget: 1, MaxConcurrent: 2})
+		defer svc.Close()
+		first := svc.Submit(ctx, ServiceRequest{H: h, K: k})
+		second := svc.Submit(ctx, ServiceRequest{H: h, K: k})
+		for name, r := range map[string]ServiceResult{"first": first, "second": second} {
+			if r.Err != nil {
+				t.Fatalf("service %s errored: %v\ninstance:\n%s", name, r.Err, h)
+			}
+			if r.OK != want {
+				t.Fatalf("service %s decided %v, oracle says %v\ninstance:\n%s", name, r.OK, want, h)
+			}
+			if r.OK {
+				if verr := decomp.CheckHD(r.Decomp); verr != nil {
+					t.Fatalf("service %s witness invalid: %v\ninstance:\n%s", name, verr, h)
+				}
+				if verr := decomp.CheckWidth(r.Decomp, k); verr != nil {
+					t.Fatalf("service %s witness too wide: %v\ninstance:\n%s", name, verr, h)
+				}
+			}
+		}
+		if want && !second.CacheHit {
+			t.Fatalf("repeat submission of a solved instance must hit the positive cache\ninstance:\n%s", h)
 		}
 	})
 }

@@ -36,6 +36,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/race"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // Hypergraph is an immutable hypergraph; construct one with a Builder or
@@ -147,9 +148,12 @@ func DecomposeOptimalResult(ctx context.Context, h *Hypergraph, opts RaceOptions
 
 // Service runs decompositions as a managed concurrent service: jobs
 // submitted from any number of goroutines share one global worker-token
-// budget, pass admission control with per-job timeouts, and reuse a
-// cross-request negative-memo cache keyed by hypergraph content hash.
-// Create one with NewService; see ServiceConfig for sizing.
+// budget, pass admission control with per-job timeouts, and read
+// through a unified cross-request store keyed by hypergraph content
+// hash — cached results are returned re-validated without a solver run,
+// concurrent identical requests coalesce onto one solver, and the store
+// snapshots to disk for warm restarts. Create one with NewService; see
+// ServiceConfig for sizing and ServiceConfig.Store for custom backends.
 type Service = service.Service
 
 // ServiceConfig sizes a Service; the zero value picks sensible defaults.
@@ -186,6 +190,40 @@ var (
 
 // NewService returns a decomposition service. Close it when done.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// StoreBackend is the pluggable cross-request storage contract behind a
+// Service: width bounds, cached witness decompositions, and per-width
+// negative-memo tables, all keyed by hypergraph content hash. Inject a
+// custom implementation via ServiceConfig.Store; the default is an
+// in-memory sharded backend (NewShardedStore).
+type StoreBackend = store.Backend
+
+// StoreConfig sizes the default sharded store backend.
+type StoreConfig = store.Config
+
+// StoreStats is a snapshot of a store backend's counters.
+type StoreStats = store.Stats
+
+// StoreEntryInfo describes one cached hypergraph (Backend.Info).
+type StoreEntryInfo = store.EntryInfo
+
+// StoreSnapshot is the versioned, portable form of a store's contents:
+// bounds, witness trees, and refutation summaries. Obtain one with
+// Service.Store().Export(), persist it with SaveSnapshotFile, and feed
+// it to a fresh service with Store().Import() for a warm restart.
+type StoreSnapshot = store.Snapshot
+
+// NewShardedStore returns the default in-memory store backend: entries
+// striped over independently locked shards with O(1) LRU eviction.
+func NewShardedStore(cfg StoreConfig) StoreBackend { return store.NewSharded(cfg) }
+
+// SaveSnapshotFile writes a store snapshot as versioned JSON (atomic
+// temp-file + rename).
+func SaveSnapshotFile(path string, s StoreSnapshot) error { return store.WriteFile(path, s) }
+
+// LoadSnapshotFile reads and validates a snapshot written by
+// SaveSnapshotFile, rejecting mismatched schema versions.
+func LoadSnapshotFile(path string) (StoreSnapshot, error) { return store.ReadFile(path) }
 
 // Validate checks the four HD conditions (including the special
 // condition) and returns nil iff d is a valid hypertree decomposition

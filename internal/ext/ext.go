@@ -123,7 +123,7 @@ func (g *Graph) SpecialsCoveredBy(u *bitset.Set) []Special {
 // difference", line 35 of Algorithm 1). d's edges must be a subset of
 // g's; specials are matched by ID.
 func (g *Graph) Subtract(d *Graph) *Graph {
-	edges := diffSortedInts(g.Edges, d.Edges)
+	edges := DiffSortedInts(g.Edges, d.Edges)
 	drop := make(map[int]bool, len(d.Specials))
 	for _, s := range d.Specials {
 		drop[s.ID] = true
@@ -145,8 +145,10 @@ func (g *Graph) WithSpecial(s Special) *Graph {
 	return &Graph{H: g.H, Edges: g.Edges, Specials: specials}
 }
 
-// diffSortedInts returns a \ b for sorted int slices.
-func diffSortedInts(a, b []int) []int {
+// DiffSortedInts returns a \ b for sorted int slices. It is used both
+// for Subtract and by the solvers (allowed-edge bookkeeping in the
+// optimised algorithm).
+func DiffSortedInts(a, b []int) []int {
 	out := make([]int, 0, len(a))
 	j := 0
 	for _, x := range a {
@@ -160,10 +162,6 @@ func diffSortedInts(a, b []int) []int {
 	}
 	return out
 }
-
-// DiffSortedInts is exported for reuse by the solvers (allowed-edge
-// bookkeeping in the optimised algorithm).
-func DiffSortedInts(a, b []int) []int { return diffSortedInts(a, b) }
 
 // Key appends a canonical encoding of (g, conn) to dst, for memoisation.
 // Specials are identified by vertex-set content (not ID), so structurally

@@ -1,5 +1,5 @@
 // Package service runs decompositions as a managed, concurrent service
-// rather than one Solver at a time. It owns three resources that
+// rather than one Solver at a time. It owns the resources that
 // individual logk.Solver instances would otherwise fight over:
 //
 //   - a global worker-token budget (TokenBudget): every job's parallel
@@ -9,10 +9,15 @@
 //     jobs decompose at once, at most MaxQueue more wait, the rest are
 //     rejected immediately with ErrOverloaded; every job gets its own
 //     context with a per-job timeout;
-//   - a cross-request negative-memo cache: tables keyed by hypergraph
-//     content hash and width bound are shared between requests, so
-//     repeated or structurally identical workloads skip search states
-//     already proven exhausted.
+//   - a unified cross-request store (internal/store): one
+//     content-addressed record per hypergraph holding width bounds, a
+//     validated witness decomposition, and per-width negative-memo
+//     tables. Submit reads through it — a repeat of an already-solved
+//     request returns the cached, re-validated HD without running a
+//     solver — and concurrent identical requests are coalesced onto a
+//     single solver run (singleflight), including duplicates inside one
+//     Batch. The store is pluggable (Config.Store) and snapshotable,
+//     so a serving process restarts warm.
 //
 // The package is exposed publicly as htd.Service.
 package service
@@ -21,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +35,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/logk"
 	"repro/internal/race"
+	"repro/internal/store"
 )
 
 // Mode selects what a job computes.
@@ -40,7 +47,7 @@ const (
 	ModeDecide Mode = iota
 	// ModeOptimal computes hw(H) exactly (searching widths 1..K) with
 	// the width racer: concurrent probes share live bounds, moot probes
-	// are cancelled, refutations feed the cross-request caches.
+	// are cancelled, refutations feed the cross-request store.
 	ModeOptimal
 )
 
@@ -76,11 +83,19 @@ type Config struct {
 	// DefaultWorkers caps one job's search parallelism when the request
 	// sets none. Default TokenBudget+1 (one job can use the whole pool).
 	DefaultWorkers int
-	// MemoMaxGraphs bounds distinct (hypergraph, K) memo tables kept
-	// (LRU-evicted beyond it). Default 32.
+	// Store injects a cross-request storage backend; nil builds an
+	// in-memory sharded backend sized by StoreShards, MemoMaxGraphs and
+	// MemoMaxEntries. Custom backends are the seam for disk or remote
+	// storage.
+	Store store.Backend
+	// StoreShards is the stripe count of the default sharded backend
+	// (more shards = less lock contention). Default 16.
+	StoreShards int
+	// MemoMaxGraphs bounds distinct hypergraphs cached in the default
+	// store (LRU-evicted beyond it). Default 32.
 	MemoMaxGraphs int
-	// MemoMaxEntries bounds memoised states per table; inserts beyond it
-	// are dropped. Default 1<<20.
+	// MemoMaxEntries bounds memoised states per (hypergraph, width)
+	// table; inserts beyond it are dropped. Default 1<<20.
 	MemoMaxEntries int
 }
 
@@ -99,6 +114,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultWorkers <= 0 {
 		c.DefaultWorkers = c.TokenBudget + 1
+	}
+	if c.StoreShards <= 0 {
+		c.StoreShards = 16
 	}
 	if c.MemoMaxGraphs <= 0 {
 		c.MemoMaxGraphs = 32
@@ -133,8 +151,10 @@ type Request struct {
 	// as in logk.Options.
 	Hybrid          logk.HybridMetric
 	HybridThreshold float64
-	// NoSharedMemo opts this job out of the cross-request memo cache
-	// (it still gets a private one).
+	// NoSharedMemo opts this job out of all cross-request state: the
+	// negative-memo tables, the width bounds, the positive result
+	// cache, and request coalescing. The job always runs its own
+	// solver (with a private memo).
 	NoSharedMemo bool
 }
 
@@ -148,13 +168,23 @@ type Result struct {
 	// Err is nil for a definitive answer; context errors mean the job
 	// timed out or was cancelled, ErrOverloaded that it never ran.
 	Err error
-	// Stats are the solver's effort counters for this job.
+	// Stats are the solver's effort counters for this job (zero for
+	// cache hits and coalesced jobs: the effort belongs to the run that
+	// actually searched).
 	Stats logk.Stats
 	// Elapsed is wall-clock solve time (excluding queueing).
 	Elapsed time.Duration
-	// CacheShared reports that the job found an existing cross-request
-	// memo table for its hypergraph and width.
+	// CacheShared reports that the job reused cross-request state: a
+	// memo table, cached bounds, or a cached result.
 	CacheShared bool
+	// CacheHit reports that the job was answered entirely from the
+	// store — no solver ran. Positive hits return a re-validated
+	// witness decomposition; negative hits return a width-level
+	// refutation (OK=false).
+	CacheHit bool
+	// Coalesced reports that this job shared a concurrent identical
+	// request's solver run instead of launching its own.
+	Coalesced bool
 
 	// The fields below are populated by ModeOptimal jobs only.
 
@@ -188,9 +218,19 @@ type Stats struct {
 	TokensInUse     int64 // tokens currently lent out
 	TokensHighWater int64 // max tokens ever simultaneously lent out
 
-	MemoGraphs  int64 // distinct (hypergraph, K) memo tables cached
+	SolverRuns   int64 // jobs that actually ran a solver
+	PositiveHits int64 // jobs answered with a cached, re-validated witness
+	NegativeHits int64 // jobs answered with a cached width-level refutation
+	Coalesced    int64 // jobs that shared a concurrent identical run
+
+	StoreEntries   int64 // hypergraphs cached in the store
+	StoreTrees     int64 // cached witness decompositions
+	StoreEvictions int64 // entries dropped by the store's LRU cap
+	StoreShards    int64 // stripe count of the store backend
+
+	MemoGraphs  int64 // per-width negative-memo tables cached
 	MemoEntries int64 // memoised dead states across all tables
-	CacheReuses int64 // jobs that found an existing memo table
+	CacheReuses int64 // jobs that reused any cross-request state
 
 	OptimalJobs     int64 // ModeOptimal jobs run
 	ProbesLaunched  int64 // width probes launched by optimal jobs
@@ -211,8 +251,8 @@ type Stats struct {
 type Service struct {
 	cfg    Config
 	budget *TokenBudget
-	memos  *memoStore
-	bounds *boundsStore
+	store  store.Backend
+	flight *store.Flight
 	slots  chan struct{}
 
 	mu     sync.Mutex // guards closed + jobs Add
@@ -225,6 +265,11 @@ type Service struct {
 	rejected  atomic.Int64
 	running   atomic.Int64
 	waiting   atomic.Int64
+
+	solverRuns   atomic.Int64
+	positiveHits atomic.Int64
+	negativeHits atomic.Int64
+	coalesced    atomic.Int64
 
 	optimalJobs     atomic.Int64
 	probesLaunched  atomic.Int64
@@ -241,11 +286,18 @@ type Service struct {
 // New returns a Service with the given configuration.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	if cfg.Store == nil {
+		cfg.Store = store.NewSharded(store.Config{
+			Shards:        cfg.StoreShards,
+			MaxGraphs:     cfg.MemoMaxGraphs,
+			MemoMaxStates: int64(cfg.MemoMaxEntries),
+		})
+	}
 	s := &Service{
 		cfg:    cfg,
 		budget: NewTokenBudget(cfg.TokenBudget),
-		memos:  newMemoStore(cfg.MemoMaxGraphs, int64(cfg.MemoMaxEntries)),
-		bounds: newBoundsStore(cfg.MemoMaxGraphs),
+		store:  cfg.Store,
+		flight: store.NewFlight(),
 		slots:  make(chan struct{}, cfg.MaxConcurrent),
 	}
 	s.agg.cancelledByWidth = make(map[int]int64)
@@ -255,12 +307,30 @@ func New(cfg Config) *Service {
 // Budget exposes the shared token pool (read-only use: sizing, stats).
 func (s *Service) Budget() *TokenBudget { return s.budget }
 
+// Store exposes the cross-request storage backend, for snapshots
+// (Export/Import), purges, and introspection.
+func (s *Service) Store() store.Backend { return s.store }
+
 // Config returns the effective configuration, with defaults resolved.
 func (s *Service) Config() Config { return s.cfg }
+
+// flightKey identifies interchangeable requests: same structure, same
+// problem. Two requests with equal keys produce equivalent results even
+// if their solver tuning (workers, hybridisation) differs — the
+// leader's tuning wins for a coalesced group.
+func flightKey(hash string, req Request) string {
+	return hash + "/" + req.Mode.String() + "/" + strconv.Itoa(req.K)
+}
 
 // Submit runs one job, blocking until it finishes, fails, or is
 // rejected. It is safe to call from any number of goroutines; admission
 // control decides which callers wait and which fail fast.
+//
+// Submissions read through the cross-request store: a request whose
+// answer is already cached returns a validated result without running a
+// solver (Result.CacheHit), and concurrent identical requests share one
+// solver run (Result.Coalesced). Cache hits and coalesced followers do
+// not occupy run slots.
 func (s *Service) Submit(ctx context.Context, req Request) Result {
 	if req.H == nil {
 		return Result{Err: errors.New("service: nil hypergraph")}
@@ -278,6 +348,160 @@ func (s *Service) Submit(ctx context.Context, req Request) Result {
 	defer s.jobs.Done()
 	s.submitted.Add(1)
 
+	if req.NoSharedMemo {
+		return s.admitAndRun(ctx, req, "")
+	}
+	hash := req.H.ContentHash()
+	if res, ok := s.lookup(req, hash); ok {
+		s.completed.Add(1)
+		return res
+	}
+	v, leader, err := s.flight.Do(ctx, flightKey(hash, req), func() any {
+		// Re-check the store under the flight: a result banked between
+		// the lookup above and this call (a just-finished leader whose
+		// key was already forgotten) must answer here, not trigger a
+		// second solve — otherwise "N identical concurrent requests run
+		// one solver" would hold only probabilistically.
+		if res, ok := s.lookup(req, hash); ok {
+			return res
+		}
+		return s.admitAndRun(ctx, req, hash)
+	})
+	if err != nil {
+		// The follower's own context expired while waiting.
+		s.failed.Add(1)
+		return Result{Err: err}
+	}
+	if leader {
+		res := v.(Result)
+		if res.CacheHit {
+			// The in-flight re-check answered; run/runOptimal never
+			// executed, so the completion is counted here.
+			s.completed.Add(1)
+		}
+		return res
+	}
+	res, ok := v.(Result)
+	if !ok || (res.Err != nil && ctx.Err() == nil) {
+		// The leader died or failed for reasons of its own — its
+		// cancellation, timeout, or admission rejection is not this
+		// caller's to inherit while its context is still live. Run
+		// independently and be judged on our own merits.
+		return s.admitAndRun(ctx, req, hash)
+	}
+	return s.adoptShared(ctx, res, req, hash)
+}
+
+// lookup answers a request straight from the store when possible:
+// OK=false when the cached lower bound already refutes K, OK=true with
+// a re-validated witness when one of width ≤ K is cached. ModeOptimal
+// additionally requires the bounds to pin the width exactly.
+func (s *Service) lookup(req Request, hash string) (Result, bool) {
+	b, ok := s.store.Bounds(hash)
+	if !ok {
+		return Result{}, false
+	}
+	if req.Mode == ModeOptimal {
+		if b.LB > req.K {
+			// Every width up to the ceiling is already refuted.
+			s.negativeHits.Add(1)
+			s.optimalJobs.Add(1)
+			s.boundsReuses.Add(1)
+			return Result{
+				CacheHit: true, CacheShared: true, BoundsShared: true,
+				LowerBound: b.LB, LowerBoundFrom: race.BoundInitial.String(),
+			}, true
+		}
+		if b.Exact() && b.UB <= req.K {
+			if d, w, ok := s.cachedWitness(req.H, hash, b.UB); ok {
+				s.positiveHits.Add(1)
+				s.optimalJobs.Add(1)
+				s.boundsReuses.Add(1)
+				return Result{
+					OK: true, Decomp: d, Width: w,
+					CacheHit: true, CacheShared: true, BoundsShared: true,
+					LowerBound: b.LB, LowerBoundFrom: race.BoundInitial.String(),
+				}, true
+			}
+		}
+		return Result{}, false
+	}
+	// ModeDecide.
+	if b.LB > req.K {
+		s.negativeHits.Add(1)
+		return Result{CacheHit: true, CacheShared: true}, true
+	}
+	if b.UB > 0 && b.UB <= req.K {
+		if d, _, ok := s.cachedWitness(req.H, hash, req.K); ok {
+			s.positiveHits.Add(1)
+			return Result{OK: true, Decomp: d, CacheHit: true, CacheShared: true}, true
+		}
+	}
+	return Result{}, false
+}
+
+// cachedWitness materialises the cached tree for hash against h and
+// re-validates it with the independent checkers. An invalid tree (a
+// corrupted snapshot, a buggy backend) is dropped and reported as a
+// miss — the store can never leak an unvalidated decomposition.
+func (s *Service) cachedWitness(h *hypergraph.Hypergraph, hash string, maxW int) (*decomp.Decomp, int, bool) {
+	tree, ok := s.store.Decomposition(hash)
+	if !ok {
+		return nil, 0, false
+	}
+	w := tree.Width()
+	if w == 0 || w > maxW {
+		return nil, 0, false
+	}
+	if d, err := tree.Bind(h); err == nil {
+		if decomp.CheckHD(d) == nil && decomp.CheckWidth(d, maxW) == nil {
+			return d, w, true
+		}
+	}
+	s.store.DropDecomposition(hash)
+	return nil, 0, false
+}
+
+// adoptShared shapes a leader's result for a coalesced follower: the
+// effort counters belong to the leader, and a decomposition computed
+// for a structurally identical but distinct hypergraph is rebound onto
+// the follower's.
+func (s *Service) adoptShared(ctx context.Context, res Result, req Request, hash string) Result {
+	if res.Decomp != nil && res.Decomp.H != req.H {
+		d, err := store.EncodeTree(res.Decomp).Bind(req.H)
+		if err != nil {
+			// Cannot happen for equal content hashes; fall back to an
+			// independent run rather than return a foreign decomposition.
+			return s.admitAndRun(ctx, req, hash)
+		}
+		res.Decomp = d
+	}
+	res.Coalesced = true
+	res.CacheShared = true
+	// The solve effort — counters, probe accounting, wall time —
+	// belongs to the run that actually searched, not to each follower.
+	res.Stats = logk.Stats{}
+	res.ProbesLaunched = 0
+	res.ProbesCancelled = 0
+	res.Elapsed = 0
+	s.coalesced.Add(1)
+	if req.Mode == ModeOptimal {
+		s.optimalJobs.Add(1)
+	}
+	switch {
+	case errors.Is(res.Err, ErrOverloaded):
+		s.rejected.Add(1)
+	case res.Err != nil:
+		s.failed.Add(1)
+	default:
+		s.completed.Add(1)
+	}
+	return res
+}
+
+// admitAndRun takes the job through admission control and executes it.
+// An empty hash means the job opted out of cross-request state.
+func (s *Service) admitAndRun(ctx context.Context, req Request, hash string) Result {
 	// Admission: take a run slot without waiting if one is free, join
 	// the bounded queue otherwise, reject when the queue is full. The
 	// queue count is reserved *before* the bound check (add-then-test)
@@ -303,11 +527,11 @@ func (s *Service) Submit(ctx context.Context, req Request) Result {
 
 	s.running.Add(1)
 	defer s.running.Add(-1)
-	return s.run(ctx, req)
+	return s.run(ctx, req, hash)
 }
 
 // run executes an admitted job on the caller's goroutine.
-func (s *Service) run(ctx context.Context, req Request) Result {
+func (s *Service) run(ctx context.Context, req Request, hash string) Result {
 	// Per-request timeouts can only tighten the operator's default:
 	// unset (or negative) inherits it, larger values are clamped to it.
 	// Otherwise any caller could opt out of the server-wide deadline
@@ -334,7 +558,7 @@ func (s *Service) run(ctx context.Context, req Request) Result {
 	}
 
 	if req.Mode == ModeOptimal {
-		return s.runOptimal(ctx, req, workers)
+		return s.runOptimal(ctx, req, workers, hash)
 	}
 
 	opts := logk.Options{
@@ -345,13 +569,14 @@ func (s *Service) run(ctx context.Context, req Request) Result {
 		Tokens:          s.budget,
 	}
 	var res Result
-	if !req.NoSharedMemo {
-		table, existed := s.memos.get(req.H.ContentHash(), req.K)
+	if hash != "" {
+		table, existed := s.store.Memo(hash, req.K)
 		opts.Memo = table
 		res.CacheShared = existed
 	}
 
 	solver := logk.New(req.H, opts)
+	s.solverRuns.Add(1)
 	start := time.Now()
 	d, ok, err := solver.Decompose(ctx)
 	res.Elapsed = time.Since(start)
@@ -359,6 +584,19 @@ func (s *Service) run(ctx context.Context, req Request) Result {
 	res.Stats = solver.Stats()
 
 	s.addSolverStats(res.Stats, nil)
+
+	// Bank what this definitive answer proves at the width level: a
+	// witness caps UB (and is cached for repeat submissions), an
+	// exhausted search raises LB to K+1.
+	if hash != "" && err == nil {
+		if ok {
+			if t := store.EncodeTree(d); t != nil {
+				s.store.PutDecomposition(hash, t)
+			}
+		} else {
+			s.store.MergeBounds(hash, store.Bounds{LB: req.K + 1})
+		}
+	}
 
 	if err != nil {
 		s.failed.Add(1)
@@ -369,11 +607,11 @@ func (s *Service) run(ctx context.Context, req Request) Result {
 }
 
 // runOptimal executes an admitted ModeOptimal job: a width race over
-// 1..K sharing the service's worker budget and caches. Refutations are
+// 1..K sharing the service's worker budget and store. Refutations are
 // banked twice — state-level in the per-width memo tables, width-level
-// in the bounds store — so later jobs on the same structure start from
-// tighter bounds whether they decide or optimise.
-func (s *Service) runOptimal(ctx context.Context, req Request, workers int) Result {
+// in the store's bounds — so later jobs on the same structure start
+// from tighter bounds whether they decide or optimise.
+func (s *Service) runOptimal(ctx context.Context, req Request, workers int, hash string) Result {
 	s.optimalJobs.Add(1)
 	cfg := race.Config{
 		KMax:            req.K,
@@ -384,24 +622,23 @@ func (s *Service) runOptimal(ctx context.Context, req Request, workers int) Resu
 		Tokens:          s.budget,
 	}
 	var res Result
-	var hash string
-	if !req.NoSharedMemo {
-		hash = req.H.ContentHash()
+	if hash != "" {
 		cfg.MemoFor = func(k int) logk.MemoBackend {
-			table, existed := s.memos.get(hash, k)
+			table, existed := s.store.Memo(hash, k)
 			if existed {
 				res.CacheShared = true
 			}
 			return table
 		}
-		if lb, ub, ok := s.bounds.get(hash); ok {
-			cfg.LowerBound = lb
-			cfg.UpperBoundHint = ub
+		if b, ok := s.store.Bounds(hash); ok {
+			cfg.LowerBound = b.LB
+			cfg.UpperBoundHint = b.UB
 			res.BoundsShared = true
 			s.boundsReuses.Add(1)
 		}
 	}
 
+	s.solverRuns.Add(1)
 	start := time.Now()
 	rr, err := race.New(req.H, cfg).Solve(ctx)
 	res.Elapsed = time.Since(start)
@@ -435,13 +672,15 @@ func (s *Service) runOptimal(ctx context.Context, req Request, workers int) Resu
 	s.addSolverStats(res.Stats, cancelledByWidth)
 
 	// Bank what this job proved, even partially on timeout: the lower
-	// bound is sound regardless, the witnessed width only when found.
-	if !req.NoSharedMemo {
-		ub := 0
-		if rr.BestWidth > 0 {
-			ub = rr.BestWidth
+	// bound is sound regardless, the witnessed width (and its witness
+	// decomposition) only when found.
+	if hash != "" {
+		s.store.MergeBounds(hash, store.Bounds{LB: rr.LowerBound, UB: rr.BestWidth})
+		if rr.Decomp != nil {
+			if t := store.EncodeTree(rr.Decomp); t != nil {
+				s.store.PutDecomposition(hash, t)
+			}
 		}
-		s.bounds.update(hash, rr.LowerBound, ub)
 	}
 
 	if err != nil {
@@ -474,7 +713,8 @@ func (s *Service) addSolverStats(st logk.Stats, cancelledByWidth map[int]int64) 
 // feeds at most MaxConcurrent jobs into Submit at a time, so a large
 // batch makes steady progress instead of tripping its own admission
 // control (concurrent external traffic can still cause rejections,
-// reported per-result).
+// reported per-result). Duplicate requests inside one batch coalesce
+// onto a single solver run like any other concurrent submissions.
 func (s *Service) Batch(ctx context.Context, reqs []Request) []Result {
 	results := make([]Result, len(reqs))
 	limit := s.cfg.MaxConcurrent
@@ -502,7 +742,7 @@ func (s *Service) Batch(ctx context.Context, reqs []Request) []Result {
 
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats {
-	graphs, entries := s.memos.counts()
+	sst := s.store.Stats()
 	s.agg.Lock()
 	solver := s.agg.stats
 	cancelled := make(map[int]int64, len(s.agg.cancelledByWidth))
@@ -510,6 +750,8 @@ func (s *Service) Stats() Stats {
 		cancelled[k] = n
 	}
 	s.agg.Unlock()
+	positive := s.positiveHits.Load()
+	negative := s.negativeHits.Load()
 	return Stats{
 		Submitted:        s.submitted.Load(),
 		Completed:        s.completed.Load(),
@@ -520,13 +762,21 @@ func (s *Service) Stats() Stats {
 		TokenBudget:      int64(s.budget.Size()),
 		TokensInUse:      int64(s.budget.InUse()),
 		TokensHighWater:  int64(s.budget.HighWater()),
-		MemoGraphs:       int64(graphs),
-		MemoEntries:      entries,
-		CacheReuses:      s.memos.reuses.Load(),
+		SolverRuns:       s.solverRuns.Load(),
+		PositiveHits:     positive,
+		NegativeHits:     negative,
+		Coalesced:        s.coalesced.Load(),
+		StoreEntries:     sst.Entries,
+		StoreTrees:       sst.Trees,
+		StoreEvictions:   sst.Evictions,
+		StoreShards:      int64(sst.Shards),
+		MemoGraphs:       sst.MemoTables,
+		MemoEntries:      sst.MemoStates,
+		CacheReuses:      sst.MemoReuses + positive + negative,
 		OptimalJobs:      s.optimalJobs.Load(),
 		ProbesLaunched:   s.probesLaunched.Load(),
 		ProbesCancelled:  s.probesCancelled.Load(),
-		BoundsGraphs:     int64(s.bounds.len()),
+		BoundsGraphs:     sst.BoundsGraphs,
 		BoundsReuses:     s.boundsReuses.Load(),
 		CancelledByWidth: cancelled,
 		Solver:           solver,

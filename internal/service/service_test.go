@@ -85,29 +85,30 @@ func TestConcurrentSubmissionsBoundedBudget(t *testing.T) {
 	}
 }
 
-// TestMemoSharedAcrossRequests: a second request for a structurally
-// identical hypergraph must reuse the first request's negative memo —
-// an unsatisfiable instance is then rejected on the very first state.
-func TestMemoSharedAcrossRequests(t *testing.T) {
+// TestRefutationSharedAcrossRequests: a second request for a
+// structurally identical hypergraph must reuse the first request's
+// refutation — an unsatisfiable instance is answered straight from the
+// store, with no solver run at all.
+func TestRefutationSharedAcrossRequests(t *testing.T) {
 	svc := New(Config{TokenBudget: 2, MaxConcurrent: 4})
 	defer svc.Close()
 	ctx := context.Background()
 
-	// cycle(12) has hw = 2: K=1 exhausts the search space and fills the
-	// negative memo, including the root state.
+	// cycle(12) has hw = 2: K=1 exhausts the search space, which raises
+	// the stored lower bound to 2.
 	first := svc.Submit(ctx, Request{H: cycle(12), K: 1})
 	if first.Err != nil || first.OK {
 		t.Fatalf("first: ok=%v err=%v", first.OK, first.Err)
 	}
-	if first.CacheShared {
-		t.Fatal("first request cannot find a pre-existing memo table")
+	if first.CacheShared || first.CacheHit {
+		t.Fatal("first request cannot reuse cross-request state")
 	}
 	if first.Stats.Candidates == 0 {
 		t.Fatal("first request should have searched")
 	}
 
 	// Same structure under different names: content hash must match and
-	// the root state must be a memo hit, with no search at all.
+	// the stored width bound answers without any search.
 	var b hypergraph.Builder
 	for i := 0; i < 12; i++ {
 		b.MustAddEdge("S"+strconv.Itoa(i), "y"+strconv.Itoa(i), "y"+strconv.Itoa((i+1)%12))
@@ -117,19 +118,58 @@ func TestMemoSharedAcrossRequests(t *testing.T) {
 	if second.Err != nil || second.OK {
 		t.Fatalf("second: ok=%v err=%v", second.OK, second.Err)
 	}
-	if !second.CacheShared {
-		t.Fatal("second request should have found the cached memo table")
-	}
-	if second.Stats.MemoHits == 0 {
-		t.Fatal("second request should hit the cross-request memo")
+	if !second.CacheHit || !second.CacheShared {
+		t.Fatalf("second request should be a width-level cache hit: %+v", second)
 	}
 	if second.Stats.Candidates != 0 {
-		t.Fatalf("second request searched %d candidates despite a dead root state", second.Stats.Candidates)
+		t.Fatalf("second request searched %d candidates despite a cached refutation", second.Stats.Candidates)
 	}
 
 	st := svc.Stats()
-	if st.CacheReuses == 0 || st.MemoGraphs == 0 || st.MemoEntries == 0 {
+	if st.SolverRuns != 1 {
+		t.Fatalf("SolverRuns=%d, want 1 (second request must not run a solver)", st.SolverRuns)
+	}
+	if st.NegativeHits != 1 || st.CacheReuses == 0 || st.MemoGraphs == 0 || st.MemoEntries == 0 {
 		t.Fatalf("cache stats not populated: %+v", st)
+	}
+}
+
+// TestPositiveCacheHit is the acceptance check for the result cache: a
+// repeat Submit of an identical satisfiable request returns a
+// validated witness without running a solver.
+func TestPositiveCacheHit(t *testing.T) {
+	svc := New(Config{TokenBudget: 2, MaxConcurrent: 4})
+	defer svc.Close()
+	ctx := context.Background()
+
+	first := svc.Submit(ctx, Request{H: cycle(12), K: 2})
+	if first.Err != nil || !first.OK || first.CacheHit {
+		t.Fatalf("first: ok=%v hit=%v err=%v", first.OK, first.CacheHit, first.Err)
+	}
+	second := svc.Submit(ctx, Request{H: cycle(12), K: 2})
+	if second.Err != nil || !second.OK {
+		t.Fatalf("second: ok=%v err=%v", second.OK, second.Err)
+	}
+	if !second.CacheHit {
+		t.Fatalf("repeat submit must be a cache hit: %+v", second)
+	}
+	if err := decomp.CheckHD(second.Decomp); err != nil {
+		t.Fatalf("cached witness invalid: %v", err)
+	}
+
+	// A wider decide on the same structure is also answered by the
+	// cached witness (width 2 ≤ 4).
+	wider := svc.Submit(ctx, Request{H: cycle(12), K: 4})
+	if !wider.CacheHit || !wider.OK {
+		t.Fatalf("wider decide should hit the cached witness: %+v", wider)
+	}
+
+	st := svc.Stats()
+	if st.SolverRuns != 1 {
+		t.Fatalf("SolverRuns=%d, want 1", st.SolverRuns)
+	}
+	if st.PositiveHits != 2 || st.StoreTrees != 1 {
+		t.Fatalf("positive-cache stats: %+v", st)
 	}
 }
 
@@ -262,27 +302,36 @@ func TestOptimalBoundsSharedAcrossRequests(t *testing.T) {
 	for i := 0; i < 12; i++ {
 		b.MustAddEdge("S"+strconv.Itoa(i), "y"+strconv.Itoa(i), "y"+strconv.Itoa((i+1)%12))
 	}
-	second := svc.Submit(ctx, Request{H: b.Build(), K: 4, Mode: ModeOptimal})
+	renamed := b.Build()
+	second := svc.Submit(ctx, Request{H: renamed, K: 4, Mode: ModeOptimal})
 	if second.Err != nil || !second.OK || second.Width != 2 {
 		t.Fatalf("second: ok=%v width=%d err=%v", second.OK, second.Width, second.Err)
 	}
-	if !second.BoundsShared {
-		t.Fatal("second job should find the cached bounds")
+	if !second.BoundsShared || !second.CacheHit {
+		t.Fatalf("second job should be answered from the cached exact bounds: %+v", second)
 	}
 	if second.LowerBoundFrom != "memo" {
 		t.Fatalf("second job's lower bound from %q, want memo", second.LowerBoundFrom)
 	}
-	if second.ProbesLaunched != 1 {
-		t.Fatalf("second job launched %d probes, want exactly 1 (width pinned to 2)", second.ProbesLaunched)
+	if second.ProbesLaunched != 0 {
+		t.Fatalf("second job launched %d probes, want 0 (cached witness)", second.ProbesLaunched)
 	}
-	if st := svc.Stats(); st.BoundsReuses != 1 {
-		t.Fatalf("BoundsReuses=%d, want 1", st.BoundsReuses)
+	// The cached witness was rebound onto the renamed hypergraph and
+	// re-validated before being returned.
+	if second.Decomp.H != renamed {
+		t.Fatal("cached witness not rebound onto the requesting hypergraph")
+	}
+	if err := decomp.CheckHD(second.Decomp); err != nil {
+		t.Fatalf("rebound witness invalid: %v", err)
+	}
+	if st := svc.Stats(); st.BoundsReuses != 1 || st.SolverRuns != 1 {
+		t.Fatalf("BoundsReuses=%d SolverRuns=%d, want 1/1", st.BoundsReuses, st.SolverRuns)
 	}
 }
 
 // TestOptimalRefutationsFeedDecideJobs: widths refuted by an optimal
-// race must accelerate a later plain decide job at that width via the
-// shared negative memo.
+// race must answer a later plain decide job at that width straight
+// from the store's bounds — no solver run at all.
 func TestOptimalRefutationsFeedDecideJobs(t *testing.T) {
 	svc := New(Config{TokenBudget: 2, MaxConcurrent: 4})
 	defer svc.Close()
@@ -292,18 +341,52 @@ func TestOptimalRefutationsFeedDecideJobs(t *testing.T) {
 	if opt.Err != nil || !opt.OK || opt.Width != 2 {
 		t.Fatalf("optimal: ok=%v width=%d err=%v", opt.OK, opt.Width, opt.Err)
 	}
-	// The race refuted width 1; a decide job at K=1 must hit the shared
-	// memo table and answer without searching.
+	// The race refuted width 1 (LB=2): a decide job at K=1 is a
+	// width-level negative hit.
 	dec := svc.Submit(ctx, Request{H: cycle(12), K: 1})
 	if dec.Err != nil || dec.OK {
 		t.Fatalf("decide: ok=%v err=%v", dec.OK, dec.Err)
 	}
-	if !dec.CacheShared || dec.Stats.MemoHits == 0 {
-		t.Fatalf("decide job should reuse the race's refutation (shared=%v hits=%d)",
-			dec.CacheShared, dec.Stats.MemoHits)
+	if !dec.CacheHit || !dec.CacheShared {
+		t.Fatalf("decide job should reuse the race's refutation: %+v", dec)
 	}
 	if dec.Stats.Candidates != 0 {
-		t.Fatalf("decide searched %d candidates despite a dead root state", dec.Stats.Candidates)
+		t.Fatalf("decide searched %d candidates despite a cached refutation", dec.Stats.Candidates)
+	}
+	// And a decide at K=2 is a positive hit off the race's witness.
+	yes := svc.Submit(ctx, Request{H: cycle(12), K: 2})
+	if !yes.OK || !yes.CacheHit {
+		t.Fatalf("decide K=2 should hit the race's cached witness: %+v", yes)
+	}
+	if err := decomp.CheckHD(yes.Decomp); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.SolverRuns != 1 {
+		t.Fatalf("SolverRuns=%d, want 1 (only the race searched)", st.SolverRuns)
+	}
+}
+
+// TestMemoTablesSurviveTimeouts: when a job times out (so no
+// width-level bound is banked), its partially filled negative-memo
+// table still exists and is shared with the next request at that
+// width — the state-level cache still matters exactly where the
+// width-level one cannot answer.
+func TestMemoTablesSurviveTimeouts(t *testing.T) {
+	svc := New(Config{TokenBudget: 1, MaxConcurrent: 2})
+	defer svc.Close()
+	ctx := context.Background()
+	heavy := grid(8)
+
+	first := svc.Submit(ctx, Request{H: heavy, K: 4, Timeout: 30 * time.Millisecond})
+	if first.Err == nil {
+		t.Skip("heavy instance solved within 30ms; timeout path not exercised")
+	}
+	if _, ok := svc.Store().Bounds(heavy.ContentHash()); ok {
+		t.Fatal("a timed-out decide job must not bank width bounds")
+	}
+	second := svc.Submit(ctx, Request{H: heavy, K: 4, Timeout: 30 * time.Millisecond})
+	if !second.CacheShared {
+		t.Fatalf("second job should find the first job's memo table: %+v", second)
 	}
 }
 
@@ -370,23 +453,41 @@ func TestOptimalUnderConcurrentLoad(t *testing.T) {
 	}
 }
 
-// TestBoundsStoreUnit exercises merge and eviction directly.
-func TestBoundsStoreUnit(t *testing.T) {
-	b := newBoundsStore(2)
-	b.update("g1", 2, 0)
-	b.update("g1", 3, 5)
-	b.update("g1", 2, 4) // lb cannot regress, ub improves
-	if lb, ub, ok := b.get("g1"); !ok || lb != 3 || ub != 4 {
-		t.Fatalf("g1: lb=%d ub=%d ok=%v, want 3/4/true", lb, ub, ok)
+// TestBoundsMergeThroughService: bounds written by jobs obey the merge
+// rules end to end — the lower bound only rises, the witnessed upper
+// bound only falls (unit-level merge semantics live in internal/store).
+func TestBoundsMergeThroughService(t *testing.T) {
+	svc := New(Config{TokenBudget: 2, MaxConcurrent: 4})
+	defer svc.Close()
+	ctx := context.Background()
+	h := cycle(12) // hw = 2
+	hash := h.ContentHash()
+
+	// A decide "no" at K=1 raises LB to 2.
+	if res := svc.Submit(ctx, Request{H: h, K: 1}); res.Err != nil || res.OK {
+		t.Fatalf("decide K=1: ok=%v err=%v", res.OK, res.Err)
 	}
-	b.update("g2", 2, 2)
-	b.update("g3", 4, 0) // evicts the LRU entry
-	if b.len() != 2 {
-		t.Fatalf("store holds %d entries, cap is 2", b.len())
+	b, ok := svc.Store().Bounds(hash)
+	if !ok || b.LB != 2 || b.UB != 0 {
+		t.Fatalf("after refutation: %+v ok=%v, want LB=2 UB=0", b, ok)
 	}
-	b.update("g4", 1, 0) // no knowledge: must be a no-op
-	if _, _, ok := b.get("g4"); ok {
-		t.Fatal("trivial bounds must not be cached")
+
+	// A decide "yes" at K=3 witnesses some width ≤ 3; UB drops.
+	if res := svc.Submit(ctx, Request{H: h, K: 3}); res.Err != nil || !res.OK {
+		t.Fatalf("decide K=3: ok=%v err=%v", res.OK, res.Err)
+	}
+	b, _ = svc.Store().Bounds(hash)
+	if b.LB != 2 || b.UB < 2 || b.UB > 3 {
+		t.Fatalf("after witness: %+v, want LB=2, UB in [2,3]", b)
+	}
+
+	// The optimal job pins the width exactly; LB never regressed.
+	if res := svc.Submit(ctx, Request{H: h, K: 4, Mode: ModeOptimal}); res.Err != nil || res.Width != 2 {
+		t.Fatalf("optimal: width=%d err=%v", res.Width, res.Err)
+	}
+	b, _ = svc.Store().Bounds(hash)
+	if b.LB != 2 || b.UB != 2 {
+		t.Fatalf("after optimal: %+v, want LB=UB=2", b)
 	}
 }
 
@@ -406,7 +507,7 @@ func TestAdmissionControl(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			svc.Submit(ctx, Request{H: slow, K: 4})
+			svc.Submit(ctx, Request{H: slow, K: 4, NoSharedMemo: true})
 		}()
 	}
 	// Wait until one job holds the slot and the other fills the queue.
@@ -424,7 +525,7 @@ func TestAdmissionControl(t *testing.T) {
 
 	const flood = 5
 	for i := 0; i < flood; i++ {
-		if res := svc.Submit(ctx, Request{H: slow, K: 4}); res.Err != ErrOverloaded {
+		if res := svc.Submit(ctx, Request{H: slow, K: 4, NoSharedMemo: true}); res.Err != ErrOverloaded {
 			t.Fatalf("flood submission %d: err=%v, want ErrOverloaded", i, res.Err)
 		}
 	}
@@ -439,7 +540,7 @@ func TestAdmissionControl(t *testing.T) {
 		burstWG.Add(1)
 		go func() {
 			defer burstWG.Done()
-			if svc.Submit(ctx, Request{H: slow, K: 4}).Err == ErrOverloaded {
+			if svc.Submit(ctx, Request{H: slow, K: 4, NoSharedMemo: true}).Err == ErrOverloaded {
 				rejected.Add(1)
 			}
 		}()
@@ -543,8 +644,9 @@ func TestCloseRejectsAndDrains(t *testing.T) {
 	}
 }
 
-// TestMemoStoreEviction: the LRU cap on cached graphs holds.
-func TestMemoStoreEviction(t *testing.T) {
+// TestStoreEviction: the LRU cap on cached graphs holds through the
+// service configuration.
+func TestStoreEviction(t *testing.T) {
 	svc := New(Config{TokenBudget: 1, MaxConcurrent: 2, MemoMaxGraphs: 2})
 	defer svc.Close()
 	ctx := context.Background()
@@ -553,8 +655,12 @@ func TestMemoStoreEviction(t *testing.T) {
 			t.Fatalf("cycle(%d): ok=%v err=%v", n, res.OK, res.Err)
 		}
 	}
-	if st := svc.Stats(); st.MemoGraphs > 2 {
-		t.Fatalf("memo store holds %d graphs, cap is 2", st.MemoGraphs)
+	st := svc.Stats()
+	if st.StoreEntries > 2 {
+		t.Fatalf("store holds %d graphs, cap is 2", st.StoreEntries)
+	}
+	if st.StoreEvictions == 0 {
+		t.Fatal("four graphs through a cap of two must evict")
 	}
 }
 

@@ -1,0 +1,82 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// SnapshotVersion is the current snapshot schema version. Load rejects
+// files written by a different major schema so a format change can
+// never silently poison a warm restart.
+const SnapshotVersion = 1
+
+// Snapshot is the portable, versioned form of a store's contents:
+// width bounds, witness decompositions (as hypergraph-independent
+// Trees), and refutation summaries per hypergraph. Memo table contents
+// are deliberately not persisted — they are large, regenerate quickly,
+// and only their summaries matter for introspection — so snapshots stay
+// small enough to write on every graceful shutdown.
+type Snapshot struct {
+	Version int             `json:"version"`
+	SavedAt time.Time       `json:"saved_at,omitempty"`
+	Entries []SnapshotEntry `json:"entries"`
+}
+
+// SnapshotEntry is one hypergraph's persisted knowledge.
+type SnapshotEntry struct {
+	Hash    string         `json:"hash"`
+	Bounds  Bounds         `json:"bounds"`
+	Tree    *Tree          `json:"tree,omitempty"`
+	Refuted []WidthSummary `json:"refuted,omitempty"`
+}
+
+// Validate checks the schema version and basic well-formedness.
+func (s Snapshot) Validate() error {
+	if s.Version != SnapshotVersion {
+		return fmt.Errorf("store: snapshot version %d, want %d", s.Version, SnapshotVersion)
+	}
+	for i, e := range s.Entries {
+		if e.Hash == "" {
+			return fmt.Errorf("store: snapshot entry %d has no hash", i)
+		}
+		if e.Bounds.LB < 0 || e.Bounds.UB < 0 {
+			return fmt.Errorf("store: snapshot entry %d has negative bounds", i)
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the snapshot as indented JSON, stamping SavedAt.
+// The write goes through a temp file + rename so a crash mid-save never
+// truncates an existing snapshot.
+func WriteFile(path string, s Snapshot) error {
+	s.Version = SnapshotVersion
+	s.SavedAt = time.Now().UTC()
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadFile loads and validates a snapshot written by WriteFile.
+func ReadFile(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("store: parse snapshot %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, fmt.Errorf("%w (%s)", err, path)
+	}
+	return s, nil
+}
