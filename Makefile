@@ -4,9 +4,9 @@
 GO ?= go
 # Benchmark artifact produced by `make bench` and uploaded by CI; bump
 # per PR so artifacts stay comparable across the perf trajectory.
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR4.json
 
-.PHONY: all build fmt fmt-check vet test race bench stress fuzz serve ci
+.PHONY: all build fmt fmt-check vet test race bench stress differential fuzz serve ci
 
 all: build
 
@@ -32,15 +32,19 @@ race:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
-	$(GO) run ./cmd/benchtab -experiment store -benchjson $(BENCH_JSON) -quiet
+	$(GO) run ./cmd/benchtab -experiment query -benchjson $(BENCH_JSON) -quiet
 
 stress:
 	$(GO) test -race -count=2 -run 'TestStoreStress|TestCoalescing|TestBatchDuplicates|TestSnapshot|TestServeCache|TestShardedConcurrency|TestFlight' ./internal/store ./internal/service ./cmd/htdserve
 
+differential:
+	$(GO) test -race -count=1 -run 'TestDifferential|TestConcurrentIdentical|TestEval|TestServeQuery' ./internal/query ./internal/join ./cmd/htdserve
+
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecomposeCheckHD -fuzztime=10s .
+	$(GO) test -run=NONE -fuzz=FuzzParseQuery -fuzztime=10s ./internal/join
 
 serve:
 	$(GO) run ./cmd/htdserve
 
-ci: fmt-check vet build race bench stress fuzz
+ci: fmt-check vet build race bench stress differential fuzz

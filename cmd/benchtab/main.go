@@ -9,14 +9,17 @@
 //	benchtab -experiment figure3 -csv scatter.csv
 //
 // Experiments: table1 table2 table3 table4 table5 figure1 figure3
-// ablation depth ghd race store all
+// ablation depth ghd race store query all
 //
 // The race experiment compares the serial k = 1..kmax width ladder
 // against the optimal-width racing service pipeline; the store
 // experiment measures the unified decomposition store (cold-vs-warm
-// repeat traffic and request coalescing). With -benchjson either one
-// writes its measurements as a JSON benchmark artifact (BENCH_PR3.json
-// in CI) so the perf trajectory is tracked across PRs.
+// repeat traffic and request coalescing); the query experiment drives
+// the end-to-end conjunctive-query pipeline (Yannakakis over
+// store-cached decompositions) with cold-plan vs warm-plan traffic.
+// With -benchjson any of them writes its measurements as a JSON
+// benchmark artifact (BENCH_PR4.json in CI) so the perf trajectory is
+// tracked across PRs.
 package main
 
 import (
@@ -145,6 +148,12 @@ func main() {
 				return err
 			}
 			fmt.Print(tab.Render())
+		case "query":
+			tab, err := queryExperiment(ctx, cfg, *benchJSON)
+			if err != nil {
+				return err
+			}
+			fmt.Print(tab.Render())
 		case "depth":
 			fmt.Print(harness.DepthExperiment(ctx, []int{16, 32, 64, 128, 256, 512}).Render())
 		case "ghd":
@@ -170,7 +179,7 @@ func main() {
 	names := []string{*experiment}
 	if *experiment == "all" {
 		names = []string{"table1", "table2", "table3", "table4", "table5",
-			"figure1", "figure3", "ablation", "depth", "ghd", "race", "store"}
+			"figure1", "figure3", "ablation", "depth", "ghd", "race", "store", "query"}
 	}
 	for _, n := range names {
 		if err := run(strings.TrimSpace(n)); err != nil {

@@ -89,6 +89,10 @@ var errBadRequest = errors.New("bad request")
 // server wires an htd.Service into HTTP handlers.
 type server struct {
 	svc *htd.Service
+	// planner answers /query and /querybatch over svc; it shares the
+	// service's plan cache with /decompose traffic (a decomposed
+	// hypergraph is a warm plan for a structurally identical query).
+	planner *htd.QueryPlanner
 	// batchLimit bounds how many lines of one batch are in flight at
 	// once, so a large batch queues inside the handler instead of
 	// tripping the service's admission control.
@@ -103,10 +107,18 @@ func newHandler(svc *htd.Service, batchLimit int, snapshotPath string) http.Hand
 	if batchLimit < 1 {
 		batchLimit = 1
 	}
-	s := &server{svc: svc, batchLimit: batchLimit, snapshotPath: snapshotPath, started: time.Now()}
+	s := &server{
+		svc:          svc,
+		planner:      htd.NewQueryPlanner(svc),
+		batchLimit:   batchLimit,
+		snapshotPath: snapshotPath,
+		started:      time.Now(),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /decompose", s.handleDecompose)
 	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /querybatch", s.handleQueryBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /cache", s.handleCache)
@@ -228,16 +240,18 @@ func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
-// handleBatch reads NDJSON requests and streams NDJSON responses in
-// input order, each line flushed as soon as its job finishes.
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+// streamNDJSON reads NDJSON request lines and streams NDJSON responses
+// in input order, each line flushed as soon as its job finishes. At
+// most batchLimit jobs run at once; handle turns one line into one
+// response object.
+func (s *server) streamNDJSON(w http.ResponseWriter, r *http.Request, handle func([]byte) any) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 
 	// pending preserves input order; the writer drains one result
 	// channel at a time while jobs run concurrently behind it.
-	pending := make(chan chan *apiResponse, s.batchLimit)
+	pending := make(chan chan any, s.batchLimit)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -253,22 +267,17 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	scanner := bufio.NewScanner(r.Body)
 	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for scanner.Scan() {
-		line := scanner.Bytes()
-		if len(bytes.TrimSpace(line)) == 0 {
+		line := bytes.TrimSpace(scanner.Bytes())
+		if len(line) == 0 {
 			continue
 		}
-		ch := make(chan *apiResponse, 1)
+		ch := make(chan any, 1)
 		pending <- ch
-		var a apiRequest
-		if err := json.Unmarshal(line, &a); err != nil {
-			ch <- &apiResponse{Error: "invalid JSON: " + err.Error()}
-			continue
-		}
 		sem <- struct{}{}
-		go func(a apiRequest) {
+		go func(line []byte) {
 			defer func() { <-sem }()
-			ch <- s.runJob(r.Context(), a)
-		}(a)
+			ch <- handle(line)
+		}(append([]byte(nil), line...))
 	}
 	close(pending)
 	<-done
@@ -277,6 +286,161 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// client the batch did not complete.
 		return
 	}
+}
+
+// handleBatch streams decomposition jobs: NDJSON apiRequest lines in,
+// apiResponse lines out, input order preserved.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.streamNDJSON(w, r, func(line []byte) any {
+		var a apiRequest
+		if err := json.Unmarshal(line, &a); err != nil {
+			return &apiResponse{Error: "invalid JSON: " + err.Error()}
+		}
+		return s.runJob(r.Context(), a)
+	})
+}
+
+// queryAPIRequest is the JSON body of POST /query and one NDJSON line
+// of POST /querybatch.
+type queryAPIRequest struct {
+	// Query is the conjunctive query: "R(x,y), S(y,z), T(z,x)."
+	Query string `json:"query"`
+	// Database holds the data as rel blocks in the document text format:
+	// "rel R(c1,c2)\n1 2\nend\n...". Relation names and arities must
+	// match the query's atoms.
+	Database string `json:"database"`
+	// MaxWidth is the plan's width ceiling (0 = number of atoms, so a
+	// plan always exists).
+	MaxWidth int `json:"max_width,omitempty"`
+	// MaxRows caps every intermediate and final relation; exceeding it
+	// aborts the query. 0 = no cap.
+	MaxRows int `json:"max_rows,omitempty"`
+	// TimeoutMS bounds the whole query (planning + execution).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Workers caps solver parallelism for cold plans (0 = service
+	// default).
+	Workers int `json:"workers,omitempty"`
+	// OmitRows asks for counts and plan metadata only — the answer rows
+	// are computed but not serialised (cheap for large results).
+	OmitRows bool `json:"omit_rows,omitempty"`
+}
+
+// queryAPIResponse is the JSON result of one query.
+type queryAPIResponse struct {
+	OK bool `json:"ok"`
+	// Vars and Rows are the canonical answer: attributes in sorted
+	// variable order, tuples sorted — a repeat of an identical query
+	// returns byte-identical rows.
+	Vars     []string `json:"vars,omitempty"`
+	Rows     [][]int  `json:"rows,omitempty"`
+	RowCount int      `json:"row_count"`
+	// Width is the hypertree width of the executed plan; PlanCacheHit
+	// reports it came from the store with zero solver runs.
+	Width         int     `json:"width,omitempty"`
+	PlanCacheHit  bool    `json:"plan_cache_hit"`
+	PlanCoalesced bool    `json:"plan_coalesced,omitempty"`
+	PlanMS        float64 `json:"plan_ms"`
+	ExecMS        float64 `json:"exec_ms"`
+	Error         string  `json:"error,omitempty"`
+	TimedOut      bool    `json:"timed_out,omitempty"`
+
+	// err keeps the underlying error for status-code mapping.
+	err error
+}
+
+// runQuery answers one parsed query request and shapes the result for
+// the wire.
+func (s *server) runQuery(ctx context.Context, a queryAPIRequest) *queryAPIResponse {
+	if strings.TrimSpace(a.Query) == "" {
+		return &queryAPIResponse{Error: "missing \"query\"", err: errBadRequest}
+	}
+	if a.TimeoutMS < 0 {
+		return &queryAPIResponse{Error: "\"timeout_ms\" must be >= 0", err: errBadRequest}
+	}
+	q, err := htd.ParseCQ(a.Query)
+	if err != nil {
+		return &queryAPIResponse{Error: "parse query: " + err.Error(), err: errBadRequest}
+	}
+	db, err := htd.ParseRelations(a.Database)
+	if err != nil {
+		return &queryAPIResponse{Error: "parse database: " + err.Error(), err: errBadRequest}
+	}
+	res, err := s.planner.Eval(ctx, htd.QueryRequest{
+		Query:    q,
+		DB:       db,
+		MaxWidth: a.MaxWidth,
+		MaxRows:  a.MaxRows,
+		Timeout:  time.Duration(a.TimeoutMS) * time.Millisecond,
+		Workers:  a.Workers,
+	})
+	if err != nil {
+		resp := &queryAPIResponse{Error: err.Error(), err: err}
+		resp.TimedOut = errors.Is(err, context.DeadlineExceeded)
+		switch {
+		case errors.Is(err, htd.ErrNoQueryPlan),
+			errors.Is(err, htd.ErrRowBudget),
+			errors.Is(err, context.DeadlineExceeded),
+			errors.Is(err, context.Canceled),
+			errors.Is(err, htd.ErrOverloaded),
+			errors.Is(err, htd.ErrServiceClosed):
+			// Definitive or operational failures keep their own mapping.
+		default:
+			// Anything else is a malformed query/database combination
+			// (unknown relation, arity mismatch): the client's fault.
+			resp.err = errBadRequest
+		}
+		return resp
+	}
+	resp := &queryAPIResponse{
+		OK:            true,
+		RowCount:      res.Rows.Size(),
+		Width:         res.Width,
+		PlanCacheHit:  res.PlanCacheHit,
+		PlanCoalesced: res.PlanCoalesced,
+		PlanMS:        float64(res.PlanElapsed) / float64(time.Millisecond),
+		ExecMS:        float64(res.ExecElapsed) / float64(time.Millisecond),
+	}
+	if !a.OmitRows {
+		resp.Vars = res.Rows.Attrs
+		resp.Rows = res.Rows.Tuples
+	}
+	return resp
+}
+
+func (s *server) queryStatus(resp *queryAPIResponse) int {
+	switch {
+	case errors.Is(resp.err, errBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(resp.err, htd.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(resp.err, htd.ErrServiceClosed):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusOK
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var a queryAPIRequest
+	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	resp := s.runQuery(r.Context(), a)
+	writeJSON(w, s.queryStatus(resp), resp)
+}
+
+// handleQueryBatch streams query jobs: NDJSON queryAPIRequest lines in,
+// queryAPIResponse lines out, input order preserved. Duplicate queries
+// inside one batch plan once: the first line's solve is coalesced with
+// or cached for the rest.
+func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	s.streamNDJSON(w, r, func(line []byte) any {
+		var a queryAPIRequest
+		if err := json.Unmarshal(line, &a); err != nil {
+			return &queryAPIResponse{Error: "invalid JSON: " + err.Error()}
+		}
+		return s.runQuery(r.Context(), a)
+	})
 }
 
 // cacheFileRequest is the JSON body of /cache/save and /cache/load; an
@@ -388,8 +552,19 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// statsResponse flattens the service counters at the top level (the
+// shape existing clients read) and nests the query-pipeline counters
+// under "query".
+type statsResponse struct {
+	htd.ServiceStats
+	Query htd.QueryStats `json:"query"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.svc.Stats())
+	writeJSON(w, http.StatusOK, statsResponse{
+		ServiceStats: s.svc.Stats(),
+		Query:        s.planner.Stats(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -2,12 +2,15 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -416,5 +419,210 @@ func TestServeCoalescedBatch(t *testing.T) {
 	// the positive cache. Either way: exactly one solver ran.
 	if st := svc.Stats(); st.SolverRuns != 1 {
 		t.Fatalf("SolverRuns=%d, want 1 for four identical lines", st.SolverRuns)
+	}
+}
+
+// triangleQueryBody is the /query body for the triangle fixture whose
+// full answer set is exactly {(1,2,5), (4,2,7)}.
+const triangleQueryBody = `{"query":"R(x,y), S(y,z), T(z,x).",` +
+	`"database":"rel R(c1,c2)\n1 2\n1 3\n4 2\nend\nrel S(c1,c2)\n2 5\n3 6\n2 7\nend\nrel T(c1,c2)\n5 1\n6 4\n7 4\nend\n"}`
+
+func postQuery(t *testing.T, url, body string) (*http.Response, queryAPIResponse, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out queryAPIResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("decode response %q: %v", raw, err)
+	}
+	return resp, out, raw
+}
+
+// rawRows extracts the uninterpreted "rows" JSON of a /query response,
+// for byte-identity comparisons across repeat requests.
+func rawRows(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var probe struct {
+		Rows json.RawMessage `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		t.Fatal(err)
+	}
+	return probe.Rows
+}
+
+// TestServeQueryGolden pins the full /query contract on the triangle
+// fixture: canonical vars and rows, plan metadata, and the plan-cache
+// behaviour of a repeated identical request — byte-identical rows,
+// plan_cache_hit=true, and no additional solver run.
+func TestServeQueryGolden(t *testing.T) {
+	ts, svc := newTestServer(t)
+
+	resp, out, raw := postQuery(t, ts.URL+"/query", triangleQueryBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if !out.OK || out.Error != "" {
+		t.Fatalf("query failed: %+v", out)
+	}
+	if !reflect.DeepEqual(out.Vars, []string{"x", "y", "z"}) {
+		t.Fatalf("vars = %v, want [x y z]", out.Vars)
+	}
+	wantRows := [][]int{{1, 2, 5}, {4, 2, 7}}
+	if !reflect.DeepEqual(out.Rows, wantRows) || out.RowCount != 2 {
+		t.Fatalf("rows = %v (count %d), want %v", out.Rows, out.RowCount, wantRows)
+	}
+	if out.Width != 2 {
+		t.Fatalf("plan width = %d, want 2 (triangle hw)", out.Width)
+	}
+	if out.PlanCacheHit {
+		t.Fatalf("first query cannot be a plan-cache hit: %+v", out)
+	}
+
+	// The repeat: byte-identical rows, plan from the cache, and the
+	// service must not have run another solver.
+	runsBefore := svc.Stats().SolverRuns
+	resp2, again, raw2 := postQuery(t, ts.URL+"/query", triangleQueryBody)
+	if resp2.StatusCode != http.StatusOK || !again.OK {
+		t.Fatalf("repeat query: status=%d %+v", resp2.StatusCode, again)
+	}
+	if !again.PlanCacheHit {
+		t.Fatalf("repeat query must hit the plan cache: %+v", again)
+	}
+	if got, want := rawRows(t, raw2), rawRows(t, raw); !bytes.Equal(got, want) {
+		t.Fatalf("repeat rows not byte-identical:\n%s\nvs\n%s", got, want)
+	}
+	if runsAfter := svc.Stats().SolverRuns; runsAfter != runsBefore {
+		t.Fatalf("repeat query ran a solver: SolverRuns %d -> %d", runsBefore, runsAfter)
+	}
+
+	// /stats surfaces the query-pipeline counters under "query".
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Query.Queries != 2 || st.Query.Answered != 2 || st.Query.PlanCacheHits != 1 {
+		t.Fatalf("query stats not surfaced: %+v", st.Query)
+	}
+}
+
+func TestServeQueryModes(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// omit_rows: counts and plan metadata only.
+	_, out, raw := postQuery(t, ts.URL+"/query",
+		`{"query":"R(x,y), S(y,z), T(z,x).",`+
+			`"database":"rel R(c1,c2)\n1 2\n1 3\n4 2\nend\nrel S(c1,c2)\n2 5\n3 6\n2 7\nend\nrel T(c1,c2)\n5 1\n6 4\n7 4\nend\n",`+
+			`"omit_rows":true}`)
+	if !out.OK || out.RowCount != 2 || out.Rows != nil {
+		t.Fatalf("omit_rows: %+v (%s)", out, raw)
+	}
+
+	// max_width below the triangle's hw=2: a definitive no-plan answer,
+	// not a server error.
+	resp, noPlan, _ := postQuery(t, ts.URL+"/query",
+		`{"query":"R(x,y), S(y,z), T(z,x).",`+
+			`"database":"rel R(c1,c2)\nend\nrel S(c1,c2)\nend\nrel T(c1,c2)\nend\n",`+
+			`"max_width":1}`)
+	if resp.StatusCode != http.StatusOK || noPlan.OK || !strings.Contains(noPlan.Error, "width") {
+		t.Fatalf("max_width=1: status=%d %+v", resp.StatusCode, noPlan)
+	}
+
+	// A tiny row budget aborts with a budget error, also a 200.
+	resp, budget, _ := postQuery(t, ts.URL+"/query",
+		`{"query":"R(x,y), S(y,z).",`+
+			`"database":"rel R(c1,c2)\n1 1\n2 1\n3 1\nend\nrel S(c1,c2)\n1 1\n1 2\n1 3\nend\n",`+
+			`"max_rows":2}`)
+	if resp.StatusCode != http.StatusOK || budget.OK || !strings.Contains(budget.Error, "row budget") {
+		t.Fatalf("row budget: status=%d %+v", resp.StatusCode, budget)
+	}
+
+	// Bad inputs are 400s: missing fields, parse errors, unknown
+	// relations, arity mismatches, negative timeouts.
+	for _, body := range []string{
+		`{invalid json`,
+		`{"database":"rel R(a)\nend\n"}`,
+		`{"query":"R(x","database":""}`,
+		`{"query":"R(x).","database":"rel R(a)\n1 2\nend\n"}`,
+		`{"query":"R(x).","database":"not a database"}`,
+		`{"query":"R(x,y).","database":"rel R(a)\n1\nend\n"}`,
+		`{"query":"R(x).","database":"rel R(a)\nend\n","timeout_ms":-1}`,
+	} {
+		resp, _, raw := postQuery(t, ts.URL+"/query", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400 (%s)", body, resp.StatusCode, raw)
+		}
+	}
+}
+
+// TestServeQueryBatch drives /querybatch: NDJSON in, NDJSON out in
+// input order, per-line errors isolated, and duplicate lines planning
+// once through the shared store.
+func TestServeQueryBatch(t *testing.T) {
+	ts, svc := newTestServer(t)
+
+	good := `{"query":"R(x,y), S(y,z), T(z,x).",` +
+		`"database":"rel R(c1,c2)\n1 2\n1 3\n4 2\nend\nrel S(c1,c2)\n2 5\n3 6\n2 7\nend\nrel T(c1,c2)\n5 1\n6 4\n7 4\nend\n"}`
+	lines := []string{
+		good,
+		`{"bad":`,
+		`{"query":"R(x,y).","database":"rel R(c1,c2)\n7 8\nend\n"}`,
+		good,
+		good,
+	}
+	resp, err := http.Post(ts.URL+"/querybatch", "application/x-ndjson",
+		strings.NewReader(strings.Join(lines, "\n")+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var results []queryAPIResponse
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var r queryAPIResponse
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %d: %v", len(results), err)
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(lines) {
+		t.Fatalf("got %d results for %d lines", len(results), len(lines))
+	}
+	for _, i := range []int{0, 3, 4} {
+		if !results[i].OK || results[i].RowCount != 2 {
+			t.Fatalf("line %d: %+v", i, results[i])
+		}
+	}
+	if results[1].Error == "" || results[1].OK {
+		t.Fatalf("line 1 should be a JSON error: %+v", results[1])
+	}
+	if !results[2].OK || results[2].RowCount != 1 || results[2].Width != 1 {
+		t.Fatalf("line 2: %+v", results[2])
+	}
+	if !reflect.DeepEqual(results[0].Rows, results[3].Rows) {
+		t.Fatalf("duplicate lines returned different rows")
+	}
+	// The three identical triangle lines share one plan: at most one
+	// solver ran for them (plus one for the single-atom query's plan).
+	if runs := svc.Stats().SolverRuns; runs > 2 {
+		t.Fatalf("SolverRuns = %d, want <= 2 for 2 distinct query structures", runs)
 	}
 }

@@ -1,7 +1,12 @@
-// cqeval: evaluate a cyclic conjunctive query with Yannakakis' algorithm
-// over a hypertree decomposition, and compare against the naive join —
-// the paper's §1 motivating application (HDs reduce CQ evaluation to an
-// acyclic instance solvable in polynomial time).
+// cqeval: answer a cyclic conjunctive query end to end with the public
+// query API — the paper's §1 motivating application (HDs reduce CQ
+// evaluation to an acyclic instance solvable in polynomial time).
+//
+// htd.EvalQuery runs the whole pipeline: the query's hypergraph is
+// decomposed through the service's content-addressed plan cache, and
+// Yannakakis' algorithm executes over the bags. The same query asked
+// twice plans once — the repeat is a plan-cache hit with zero solver
+// runs.
 //
 // The query is a "triangle of paths" — three relations forming a cycle
 // plus dangling selection atoms:
@@ -18,8 +23,7 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/join"
-	"repro/internal/logk"
+	htd "repro"
 )
 
 func main() {
@@ -27,61 +31,71 @@ func main() {
 
 	// Random data: each relation has 300 tuples over a domain of 40.
 	const tuples, domain = 300, 40
-	mk := func() *join.Relation {
-		rel := join.NewRelation("c1", "c2")
+	mk := func() *htd.Relation {
+		rel := htd.NewRelation("c1", "c2")
 		for i := 0; i < tuples; i++ {
 			rel.Add(r.Intn(domain), r.Intn(domain))
 		}
 		return rel
 	}
-	db := join.Database{"R": mk(), "S": mk(), "T": mk(), "A": mk(), "B": mk()}
-	q := join.Query{Atoms: []join.Atom{
-		{Relation: "R", Vars: []string{"x", "y"}},
-		{Relation: "S", Vars: []string{"y", "z"}},
-		{Relation: "T", Vars: []string{"z", "x"}},
-		{Relation: "A", Vars: []string{"x", "a"}},
-		{Relation: "B", Vars: []string{"y", "b"}},
-	}}
-
-	h, err := q.Hypergraph()
+	db := htd.Database{"R": mk(), "S": mk(), "T": mk(), "A": mk(), "B": mk()}
+	q, err := htd.ParseCQ("R(x,y), S(y,z), T(z,x), A(x,a), B(y,b).")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("query hypergraph: %d variables, %d atoms\n", h.NumVertices(), h.NumEdges())
 
+	svc := htd.NewService(htd.ServiceConfig{})
+	defer svc.Close()
+	planner := htd.NewQueryPlanner(svc)
 	ctx := context.Background()
-	solver := logk.New(h, logk.Options{K: 2, Workers: 4})
-	d, ok, err := solver.Decompose(ctx)
-	if err != nil || !ok {
-		log.Fatalf("no HD of width 2 (ok=%v err=%v)", ok, err)
-	}
-	fmt.Printf("decomposition: width %d, %d nodes\n\n", d.Width(), d.NumNodes())
 
-	start := time.Now()
-	fast, err := join.Evaluate(q, db, d)
+	// Cold: the plan (a minimum-width HD of the query hypergraph) is
+	// computed by the racing solver and banked in the store.
+	cold, err := planner.Eval(ctx, htd.QueryRequest{Query: q, DB: db})
 	if err != nil {
 		log.Fatal(err)
 	}
-	tFast := time.Since(start)
+	fmt.Printf("cold: %6d answers, plan width %d, plan %v + exec %v (cache hit: %v)\n",
+		cold.Rows.Size(), cold.Width, cold.PlanElapsed.Round(time.Microsecond),
+		cold.ExecElapsed.Round(time.Microsecond), cold.PlanCacheHit)
 
-	start = time.Now()
-	naive, err := join.EvaluateNaive(q, db)
+	// Warm: the identical query again — the plan is a store cache hit,
+	// no solver runs, and the rows come back byte-identical.
+	warm, err := planner.Eval(ctx, htd.QueryRequest{Query: q, DB: db})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("warm: %6d answers, plan width %d, plan %v + exec %v (cache hit: %v)\n",
+		warm.Rows.Size(), warm.Width, warm.PlanElapsed.Round(time.Microsecond),
+		warm.ExecElapsed.Round(time.Microsecond), warm.PlanCacheHit)
+	if !warm.PlanCacheHit {
+		log.Fatal("repeat query should hit the plan cache — this is a bug")
+	}
+
+	// Differential check: the naive cross join must agree exactly.
+	start := time.Now()
+	naive, err := htd.EvalQueryNaive(q, db)
 	if err != nil {
 		log.Fatal(err)
 	}
 	tNaive := time.Since(start)
-
-	fmt.Printf("Yannakakis over HD: %6d answers in %v\n", fast.Size(), tFast)
-	fmt.Printf("naive join:         %6d answers in %v\n", naive.Size(), tNaive)
-	if fast.Size() != naive.Size() {
+	canon, err := htd.CanonicalRows(naive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive join: %d answers in %v\n", canon.Size(), tNaive.Round(time.Microsecond))
+	if canon.Size() != warm.Rows.Size() {
 		log.Fatal("answer sets disagree — this is a bug")
 	}
 	fmt.Println("results agree ✓")
 
-	// Boolean variant: satisfiability only, via the first semijoin pass.
-	sat, err := join.IsBoolean(q, db, d)
-	if err != nil {
-		log.Fatal(err)
+	// Budgets: the same query with a tiny row budget fails fast instead
+	// of materialising a huge intermediate.
+	if _, err := planner.Eval(ctx, htd.QueryRequest{Query: q, DB: db, MaxRows: 10}); err != nil {
+		fmt.Printf("with MaxRows=10: %v\n", err)
 	}
-	fmt.Printf("Boolean(Q) = %v\n", sat)
+
+	st := planner.Stats()
+	fmt.Printf("planner: %d queries, %d answered, %d plan-cache hits\n",
+		st.Queries, st.Answered, st.PlanCacheHits)
 }

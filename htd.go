@@ -32,8 +32,10 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/detk"
 	"repro/internal/hypergraph"
+	"repro/internal/join"
 	"repro/internal/logk"
 	"repro/internal/opt"
+	"repro/internal/query"
 	"repro/internal/race"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -224,6 +226,97 @@ func SaveSnapshotFile(path string, s StoreSnapshot) error { return store.WriteFi
 // LoadSnapshotFile reads and validates a snapshot written by
 // SaveSnapshotFile, rejecting mismatched schema versions.
 func LoadSnapshotFile(path string) (StoreSnapshot, error) { return store.ReadFile(path) }
+
+// CQ is a conjunctive query: a conjunction of atoms over shared
+// variables. Its hypergraph (CQ.Hypergraph) is what gets decomposed.
+type CQ = join.Query
+
+// CQAtom is one query atom R(x, y, ...).
+type CQAtom = join.Atom
+
+// Relation is a set of integer tuples over named attributes — the
+// storage unit of the in-memory relational engine.
+type Relation = join.Relation
+
+// Database maps relation names to their data.
+type Database = join.Database
+
+// CQDocument is a self-contained query instance: a CQ plus the database
+// it runs over, as read and written by the line-oriented text format
+// (ParseCQDocument / FormatCQDocument).
+type CQDocument = join.Document
+
+// ErrRowBudget is wrapped by query evaluations that exceed their
+// per-query row budget (QueryRequest.MaxRows).
+var ErrRowBudget = join.ErrRowBudget
+
+// ErrNoQueryPlan is wrapped when a query's hypertree width exceeds the
+// requested ceiling: no width-bounded plan exists.
+var ErrNoQueryPlan = query.ErrNoPlan
+
+// NewRelation returns an empty relation with the given attribute names.
+func NewRelation(attrs ...string) *Relation { return join.NewRelation(attrs...) }
+
+// ParseCQ reads a conjunctive query in Datalog-ish syntax:
+// "R(x,y), S(y,z), T(z,x)." with an optional ignored head.
+func ParseCQ(src string) (CQ, error) { return join.ParseQuery(src) }
+
+// FormatCQ renders a query in the syntax ParseCQ reads.
+func FormatCQ(q CQ) string { return join.FormatQuery(q) }
+
+// ParseCQDocument reads a query+database document: one `query` line and
+// `rel name(col,...)` blocks of integer tuples closed by `end`. The
+// format round-trips through FormatCQDocument.
+func ParseCQDocument(src string) (CQDocument, error) { return join.ParseDocument(src) }
+
+// FormatCQDocument renders a document in the format ParseCQDocument
+// reads, with relations in sorted name order.
+func FormatCQDocument(doc CQDocument) string { return join.FormatDocument(doc) }
+
+// ParseRelations reads a database alone: rel blocks with no query line
+// (the wire form of the HTTP /query "database" field).
+func ParseRelations(src string) (Database, error) { return join.ParseRelations(src) }
+
+// QueryPlanner answers conjunctive queries through a decomposition
+// Service: the query's hypergraph is decomposed via the service's
+// content-addressed plan cache (a repeat query reuses the cached plan
+// with zero solver runs) and Yannakakis' algorithm executes over the
+// bags under per-query row and time budgets. Create one per Service
+// with NewQueryPlanner and share it between goroutines.
+type QueryPlanner = query.Planner
+
+// QueryRequest is one conjunctive query to answer.
+type QueryRequest = query.Request
+
+// QueryResult is the outcome of one answered query: canonical rows,
+// plan width, cache provenance, and plan/execution timings.
+type QueryResult = query.Result
+
+// QueryStats is a snapshot of a QueryPlanner's counters.
+type QueryStats = query.Stats
+
+// NewQueryPlanner returns a planner executing queries over svc.
+func NewQueryPlanner(svc *Service) *QueryPlanner { return query.NewPlanner(svc) }
+
+// EvalQuery answers one conjunctive query end to end over svc — the
+// paper's §1 motivating application as a single call: hash the query's
+// hypergraph, fetch or compute a minimum-width decomposition through
+// the service's plan cache, and run Yannakakis over the bags. Callers
+// issuing many queries should hold a NewQueryPlanner instead, which
+// additionally accumulates QueryStats across calls.
+func EvalQuery(ctx context.Context, svc *Service, req QueryRequest) (QueryResult, error) {
+	return query.NewPlanner(svc).Eval(ctx, req)
+}
+
+// EvalQueryNaive answers the query by the exponential left-to-right
+// cross join — the correctness baseline the differential tests compare
+// the decomposition pipeline against.
+func EvalQueryNaive(q CQ, db Database) (*Relation, error) { return join.EvaluateNaive(q, db) }
+
+// CanonicalRows projects a full-query result onto sorted attributes and
+// sorts the tuples, the form in which two evaluations of the same query
+// are comparable (and repeat HTTP answers byte-identical).
+func CanonicalRows(rel *Relation) (*Relation, error) { return query.Canonical(rel) }
 
 // Validate checks the four HD conditions (including the special
 // condition) and returns nil iff d is a valid hypertree decomposition

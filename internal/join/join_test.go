@@ -2,9 +2,11 @@ package join
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/decomp"
@@ -288,5 +290,81 @@ func TestAtomErrors(t *testing.T) {
 	}
 	if _, err := atomRelation(db, Atom{Relation: "R", Vars: []string{"x", "x"}}); err == nil {
 		t.Fatal("repeated variable should error")
+	}
+}
+
+// TestBuildJoinTreeEdgeCountMismatch: a decomposition built for a
+// different hypergraph (different atom count) must be rejected up front
+// with a descriptive error, not fail deep inside bag materialisation.
+func TestBuildJoinTreeEdgeCountMismatch(t *testing.T) {
+	q, db := triangleFixture()
+	d := decompose(t, q, 2)
+
+	short := Query{Atoms: q.Atoms[:2]}
+	if _, err := BuildJoinTree(short, db, d); err == nil {
+		t.Fatal("BuildJoinTree should reject a decomposition with more edges than the query has atoms")
+	} else if !strings.Contains(err.Error(), "3 edges, query has 2 atoms") {
+		t.Fatalf("unhelpful mismatch error: %v", err)
+	}
+
+	long := Query{Atoms: append(append([]Atom(nil), q.Atoms...), Atom{Relation: "R", Vars: []string{"x", "w"}})}
+	if _, err := BuildJoinTree(long, db, d); err == nil {
+		t.Fatal("BuildJoinTree should reject a decomposition with fewer edges than the query has atoms")
+	}
+
+	// Evaluate and EvaluateCtx surface the same guard.
+	if _, err := Evaluate(short, db, d); err == nil {
+		t.Fatal("Evaluate should propagate the edge-count mismatch")
+	}
+	if _, err := EvaluateCtx(context.Background(), short, db, d, EvalOptions{}); err == nil {
+		t.Fatal("EvaluateCtx should propagate the edge-count mismatch")
+	}
+}
+
+// TestEvaluateCtxBudgets: the budgeted evaluator matches the unbudgeted
+// one when limits are loose, aborts with ErrRowBudget when the cap is
+// tight, and honours context cancellation.
+func TestEvaluateCtxBudgets(t *testing.T) {
+	q, db := triangleFixture()
+	d := decompose(t, q, 2)
+
+	got, err := EvaluateCtx(context.Background(), q, db, d, EvalOptions{MaxRows: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Evaluate(q, db, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Sorted(), want.Sorted()) {
+		t.Fatalf("budgeted evaluation disagrees: %v vs %v", got.Sorted(), want.Sorted())
+	}
+
+	if _, err := EvaluateCtx(context.Background(), q, db, d, EvalOptions{MaxRows: 1}); !errors.Is(err, ErrRowBudget) {
+		t.Fatalf("MaxRows=1 should exceed the row budget, got %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EvaluateCtx(ctx, q, db, d, EvalOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context should abort the evaluation, got %v", err)
+	}
+}
+
+// TestEvaluateNaiveSingleAtomDoesNotMutateDB: the one-atom path aliases
+// the database relation's tuple storage; Dedup must not compact the
+// caller's data in place.
+func TestEvaluateNaiveSingleAtomDoesNotMutateDB(t *testing.T) {
+	db := Database{"R": NewRelation("a").Add(1).Add(1).Add(2)}
+	q := Query{Atoms: []Atom{{Relation: "R", Vars: []string{"x"}}}}
+	out, err := EvaluateNaive(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 2 {
+		t.Fatalf("deduped result size = %d, want 2", out.Size())
+	}
+	if want := [][]int{{1}, {1}, {2}}; !reflect.DeepEqual(db["R"].Tuples, want) {
+		t.Fatalf("EvaluateNaive mutated the database relation: %v, want %v", db["R"].Tuples, want)
 	}
 }

@@ -83,5 +83,11 @@ func EvaluateNaive(q Query, db Database) (*Relation, error) {
 			return nil, err
 		}
 	}
+	if len(q.Atoms) == 1 {
+		// acc still shares tuple storage with the database relation
+		// (atomRelation aliases it); Dedup compacts in place, so give it
+		// its own slice rather than corrupting the caller's data.
+		acc = &Relation{Attrs: acc.Attrs, Tuples: append([][]int(nil), acc.Tuples...)}
+	}
 	return acc.Dedup(), nil
 }

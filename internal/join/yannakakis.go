@@ -1,6 +1,8 @@
 package join
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/decomp"
@@ -10,6 +12,40 @@ import (
 type bagNode struct {
 	rel      *Relation
 	children []*bagNode
+}
+
+// ErrRowBudget is returned (wrapped) when an evaluation exceeds its
+// per-query row budget.
+var ErrRowBudget = errors.New("join: row budget exceeded")
+
+// EvalOptions bounds one evaluation. The zero value means no limits.
+type EvalOptions struct {
+	// MaxRows caps the size of every intermediate and final relation;
+	// exceeding it aborts the evaluation with ErrRowBudget. 0 = no cap.
+	MaxRows int
+}
+
+// guard is checked after every relational operation of a budgeted
+// evaluation: context cancellation and the row cap both abort the
+// query between operations, so a runaway join cannot pin a serving
+// goroutine past its deadline. A nil guard checks nothing.
+type guard struct {
+	ctx     context.Context
+	maxRows int
+}
+
+func (g *guard) check(r *Relation) error {
+	if g == nil {
+		return nil
+	}
+	if err := g.ctx.Err(); err != nil {
+		return err
+	}
+	if g.maxRows > 0 && r.Size() > g.maxRows {
+		return fmt.Errorf("%w: intermediate result has %d rows, budget is %d",
+			ErrRowBudget, r.Size(), g.maxRows)
+	}
+	return nil
 }
 
 // BuildJoinTree materialises the join tree of query q over database db
@@ -23,6 +59,10 @@ type bagNode struct {
 // The intermediate relation at each node has at most ∏_{e∈λ(u)} |rel(e)|
 // ≤ N^width tuples — the classic width-bounded evaluation guarantee.
 func BuildJoinTree(q Query, db Database, d *decomp.Decomp) (*bagNode, error) {
+	return buildJoinTree(q, db, d, nil)
+}
+
+func buildJoinTree(q Query, db Database, d *decomp.Decomp, g *guard) (*bagNode, error) {
 	h := d.H
 	if h.NumEdges() != len(q.Atoms) {
 		return nil, fmt.Errorf("join: decomposition hypergraph has %d edges, query has %d atoms",
@@ -62,6 +102,9 @@ func BuildJoinTree(q Query, db Database, d *decomp.Decomp) (*bagNode, error) {
 					return nil, err
 				}
 			}
+			if err := g.check(acc); err != nil {
+				return nil, err
+			}
 		}
 		if acc == nil {
 			return nil, fmt.Errorf("join: node with empty λ-label")
@@ -84,6 +127,9 @@ func BuildJoinTree(q Query, db Database, d *decomp.Decomp) (*bagNode, error) {
 				return nil, err
 			}
 		}
+		if err := g.check(proj); err != nil {
+			return nil, err
+		}
 		bn := &bagNode{rel: proj}
 		for _, c := range n.Children {
 			cb, err := build(c)
@@ -102,6 +148,10 @@ func BuildJoinTree(q Query, db Database, d *decomp.Decomp) (*bagNode, error) {
 // bottom-up join producing the full result. The output relation ranges
 // over the union of all bag attributes (= all query variables).
 func Yannakakis(root *bagNode) (*Relation, error) {
+	return yannakakis(root, nil)
+}
+
+func yannakakis(root *bagNode, g *guard) (*Relation, error) {
 	// Pass 1: bottom-up semijoins.
 	var up func(n *bagNode) error
 	up = func(n *bagNode) error {
@@ -115,7 +165,7 @@ func Yannakakis(root *bagNode) (*Relation, error) {
 			}
 			n.rel = red
 		}
-		return nil
+		return g.check(n.rel)
 	}
 	if err := up(root); err != nil {
 		return nil, err
@@ -129,6 +179,9 @@ func Yannakakis(root *bagNode) (*Relation, error) {
 				return err
 			}
 			c.rel = red
+			if err := g.check(c.rel); err != nil {
+				return err
+			}
 			if err := down(c); err != nil {
 				return err
 			}
@@ -151,6 +204,9 @@ func Yannakakis(root *bagNode) (*Relation, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := g.check(acc); err != nil {
+				return nil, err
+			}
 		}
 		return acc, nil
 	}
@@ -170,6 +226,19 @@ func Evaluate(q Query, db Database, d *decomp.Decomp) (*Relation, error) {
 		return nil, err
 	}
 	return Yannakakis(tree)
+}
+
+// EvaluateCtx is Evaluate under a context and per-query limits: the
+// evaluation is aborted between relational operations when the context
+// is cancelled (deadline = the query's time budget) or when any
+// intermediate or final relation exceeds opts.MaxRows (ErrRowBudget).
+func EvaluateCtx(ctx context.Context, q Query, db Database, d *decomp.Decomp, opts EvalOptions) (*Relation, error) {
+	g := &guard{ctx: ctx, maxRows: opts.MaxRows}
+	tree, err := buildJoinTree(q, db, d, g)
+	if err != nil {
+		return nil, err
+	}
+	return yannakakis(tree, g)
 }
 
 // IsBoolean reports whether the query has at least one answer, with

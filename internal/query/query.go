@@ -1,0 +1,230 @@
+// Package query answers conjunctive queries end to end — the paper's §1
+// motivating application. A Planner turns a CQ into its hypergraph,
+// obtains a minimum-width hypertree decomposition through the
+// decomposition service (read-through to the cross-request store: a
+// repeat query is a plan-cache hit that runs no solver), and executes
+// Yannakakis' algorithm over the bags under a per-query row budget and
+// context cancellation.
+//
+// The pipeline composes every prior subsystem: internal/join supplies
+// the relational engine, internal/service the managed solvers, and
+// internal/store the content-addressed plan cache keyed by the query
+// hypergraph's structure — structurally identical queries (same atom
+// shapes, any relation names) share one cached plan.
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/join"
+	"repro/internal/service"
+)
+
+// ErrNoPlan is returned when the query's hypertree width exceeds the
+// request's width ceiling: no tractable plan exists within the bound.
+var ErrNoPlan = errors.New("query: no decomposition within the width ceiling")
+
+// Request is one conjunctive query to answer.
+type Request struct {
+	// Query and DB are the CQ and the database it runs over (required).
+	Query join.Query
+	DB    join.Database
+	// MaxWidth is the decomposition width ceiling. 0 defaults to the
+	// number of atoms (a plan then always exists: hw ≤ |atoms|); values
+	// above the atom count are clamped to it.
+	MaxWidth int
+	// MaxRows caps every intermediate and final relation of the
+	// execution; exceeding it aborts with join.ErrRowBudget. 0 = no cap.
+	MaxRows int
+	// Timeout bounds the whole query — planning and execution. 0 = no
+	// per-query deadline (the service's default still caps the solve).
+	Timeout time.Duration
+	// Workers caps the solver's parallelism for cold plans (0 = service
+	// default).
+	Workers int
+}
+
+// Result is the outcome of one answered query.
+type Result struct {
+	// Rows is the full answer relation in canonical form: attributes in
+	// sorted variable order, tuples in sorted order. Canonical form makes
+	// repeat answers byte-identical regardless of which plan produced
+	// them.
+	Rows *join.Relation
+	// Width is the hypertree width of the plan that was executed.
+	Width int
+	// PlanCacheHit reports that the decomposition came from the store's
+	// positive result cache — no solver ran for this query.
+	PlanCacheHit bool
+	// PlanCoalesced reports that the plan was shared with a concurrent
+	// identical query's solver run.
+	PlanCoalesced bool
+	// PlanElapsed and ExecElapsed split the query's wall time into the
+	// decomposition (or cache lookup) and the Yannakakis execution.
+	PlanElapsed time.Duration
+	ExecElapsed time.Duration
+}
+
+// Stats is a snapshot of planner-wide counters.
+type Stats struct {
+	Queries       int64 // queries submitted to Eval
+	Answered      int64 // queries that returned a result
+	PlanCacheHits int64 // plans served from the store, zero solver runs
+	PlanCoalesced int64 // plans shared with a concurrent identical query
+	PlanFailures  int64 // planning errors (no plan in bound, solve errors)
+	ExecFailures  int64 // execution errors (row budget, cancellation)
+	RowsReturned  int64 // total answer tuples across all queries
+}
+
+// Planner answers conjunctive queries through a decomposition service.
+// It is safe for concurrent use; create one per service and share it.
+type Planner struct {
+	svc *service.Service
+
+	queries       atomic.Int64
+	answered      atomic.Int64
+	planCacheHits atomic.Int64
+	planCoalesced atomic.Int64
+	planFailures  atomic.Int64
+	execFailures  atomic.Int64
+	rowsReturned  atomic.Int64
+}
+
+// NewPlanner returns a Planner executing queries over svc.
+func NewPlanner(svc *service.Service) *Planner {
+	return &Planner{svc: svc}
+}
+
+// Eval answers one conjunctive query: validate, plan (through the
+// service's plan cache), execute Yannakakis, canonicalise the rows.
+func (p *Planner) Eval(ctx context.Context, req Request) (Result, error) {
+	p.queries.Add(1)
+	if err := validate(req); err != nil {
+		p.planFailures.Add(1)
+		return Result{}, err
+	}
+	h, err := req.Query.Hypergraph()
+	if err != nil {
+		p.planFailures.Add(1)
+		return Result{}, err
+	}
+	maxW := req.MaxWidth
+	if maxW <= 0 || maxW > h.NumEdges() {
+		// hw(H) ≤ |E(H)| always (one bag covering everything), so a
+		// ceiling above the atom count only wastes width probes.
+		maxW = h.NumEdges()
+	}
+	if req.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
+		defer cancel()
+	}
+
+	// Plan: a ModeOptimal job yields the minimum-width decomposition —
+	// the plan with the tightest N^width execution guarantee — and banks
+	// exact bounds plus the witness tree in the store, so the identical
+	// query planned again is answered from the cache without a solver.
+	planStart := time.Now()
+	res := p.svc.Submit(ctx, service.Request{
+		H:       h,
+		Mode:    service.ModeOptimal,
+		K:       maxW,
+		Workers: req.Workers,
+		Timeout: req.Timeout,
+	})
+	planElapsed := time.Since(planStart)
+	if res.Err != nil {
+		p.planFailures.Add(1)
+		return Result{}, fmt.Errorf("query: planning failed: %w", res.Err)
+	}
+	if !res.OK {
+		p.planFailures.Add(1)
+		return Result{}, fmt.Errorf("%w: hypertree width exceeds %d (proven lower bound %d)",
+			ErrNoPlan, maxW, res.LowerBound)
+	}
+	if res.CacheHit {
+		p.planCacheHits.Add(1)
+	}
+	if res.Coalesced {
+		p.planCoalesced.Add(1)
+	}
+
+	execStart := time.Now()
+	rel, err := join.EvaluateCtx(ctx, req.Query, req.DB, res.Decomp, join.EvalOptions{MaxRows: req.MaxRows})
+	if err != nil {
+		p.execFailures.Add(1)
+		return Result{}, fmt.Errorf("query: execution failed: %w", err)
+	}
+	rows, err := Canonical(rel)
+	if err != nil {
+		p.execFailures.Add(1)
+		return Result{}, err
+	}
+	p.answered.Add(1)
+	p.rowsReturned.Add(int64(rows.Size()))
+	return Result{
+		Rows:          rows,
+		Width:         res.Decomp.Width(),
+		PlanCacheHit:  res.CacheHit,
+		PlanCoalesced: res.Coalesced,
+		PlanElapsed:   planElapsed,
+		ExecElapsed:   time.Since(execStart),
+	}, nil
+}
+
+// validate rejects malformed requests before any planning effort: every
+// atom's relation must exist with a matching arity, so a typo fails in
+// microseconds instead of after a decomposition run.
+func validate(req Request) error {
+	if len(req.Query.Atoms) == 0 {
+		return errors.New("query: empty query")
+	}
+	if req.MaxRows < 0 {
+		return errors.New("query: MaxRows must be >= 0")
+	}
+	for i, a := range req.Query.Atoms {
+		rel, ok := req.DB[a.Relation]
+		if !ok {
+			return fmt.Errorf("query: atom %d: relation %q not in database", i, a.Relation)
+		}
+		if len(rel.Attrs) != len(a.Vars) {
+			return fmt.Errorf("query: atom %d: %s has %d vars but relation has %d columns",
+				i, a.Relation, len(a.Vars), len(rel.Attrs))
+		}
+	}
+	return nil
+}
+
+// Canonical projects a full-query result onto its attributes in sorted
+// order and sorts the tuples. Two evaluations of the same query —
+// whatever plan, whatever tuple order the passes produced — have equal
+// canonical forms, which is what makes repeat HTTP answers
+// byte-identical and differential comparisons exact.
+func Canonical(rel *join.Relation) (*join.Relation, error) {
+	attrs := append([]string(nil), rel.Attrs...)
+	sort.Strings(attrs)
+	out, err := rel.Project(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	out.Tuples = out.Sorted()
+	return out, nil
+}
+
+// Stats returns a snapshot of the planner counters.
+func (p *Planner) Stats() Stats {
+	return Stats{
+		Queries:       p.queries.Load(),
+		Answered:      p.answered.Load(),
+		PlanCacheHits: p.planCacheHits.Load(),
+		PlanCoalesced: p.planCoalesced.Load(),
+		PlanFailures:  p.planFailures.Load(),
+		ExecFailures:  p.execFailures.Load(),
+		RowsReturned:  p.rowsReturned.Load(),
+	}
+}

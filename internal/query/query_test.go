@@ -1,0 +1,272 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/join"
+	"repro/internal/service"
+)
+
+func newTestPlanner(t *testing.T) (*Planner, *service.Service) {
+	t.Helper()
+	svc := service.New(service.Config{
+		TokenBudget:    2,
+		MaxConcurrent:  4,
+		MaxQueue:       256,
+		DefaultTimeout: time.Minute,
+	})
+	t.Cleanup(svc.Close)
+	return NewPlanner(svc), svc
+}
+
+// naiveCanonical is the independent baseline: the exponential cross
+// join, canonicalised the same way as planner output. It returns an
+// error instead of failing the test so it is safe to call from worker
+// goroutines (t.Fatal must only run on the test goroutine).
+func naiveCanonical(q join.Query, db join.Database) (*join.Relation, error) {
+	rel, err := join.EvaluateNaive(q, db)
+	if err != nil {
+		return nil, fmt.Errorf("naive baseline: %w", err)
+	}
+	return Canonical(rel)
+}
+
+// TestDifferentialRandomQueries is the PR's correctness wall: on seeded
+// random CQs and databases, the rows produced by the HD plan (through
+// the service and its plan cache) must equal the naive cross-join
+// baseline exactly. Queries run concurrently through one shared planner
+// — under -race this also exercises concurrent Submit, plan-cache reads
+// and coalescing — and every query is evaluated twice, the repeat being
+// required to be a plan-cache hit with identical rows.
+func TestDifferentialRandomQueries(t *testing.T) {
+	const queries = 50
+	p, svc := newTestPlanner(t)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, queries)
+	sem := make(chan struct{}, 8)
+	for seed := 0; seed < queries; seed++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			r := rand.New(rand.NewSource(int64(seed)))
+			q, db := RandomInstance(r, GenConfig{})
+			want, err := naiveCanonical(q, db)
+			if err != nil {
+				errs <- err
+				return
+			}
+
+			res, err := p.Eval(ctx, Request{Query: q, DB: db})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(res.Rows.Attrs, want.Attrs) {
+				t.Errorf("seed %d: attrs %v, naive %v", seed, res.Rows.Attrs, want.Attrs)
+				return
+			}
+			if !reflect.DeepEqual(res.Rows.Tuples, want.Tuples) {
+				t.Errorf("seed %d: HD plan returned %d rows, naive %d rows\nquery: %s",
+					seed, res.Rows.Size(), want.Size(), join.FormatQuery(q))
+				return
+			}
+			if res.Width < 1 || res.Width > len(q.Atoms) {
+				t.Errorf("seed %d: implausible plan width %d for %d atoms", seed, res.Width, len(q.Atoms))
+			}
+
+			// The identical query again: same rows, and the plan must come
+			// from the cache (or a concurrent structurally identical query's
+			// run) — never a fresh solve of an already-solved structure.
+			again, err := p.Eval(ctx, Request{Query: q, DB: db})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(again.Rows.Tuples, res.Rows.Tuples) {
+				t.Errorf("seed %d: repeat query returned different rows", seed)
+			}
+			if !again.PlanCacheHit && !again.PlanCoalesced {
+				t.Errorf("seed %d: repeat query neither hit the plan cache nor coalesced", seed)
+			}
+		}(seed)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := p.Stats()
+	if st.Queries != 2*queries || st.Answered != 2*queries {
+		t.Fatalf("planner counters: %+v", st)
+	}
+	if st.PlanCacheHits+st.PlanCoalesced < queries {
+		t.Fatalf("at least the %d repeats must reuse plans: %+v", queries, st)
+	}
+	sst := svc.Stats()
+	if sst.SolverRuns > int64(queries) {
+		t.Fatalf("%d solver runs for %d distinct queries: plan cache not working", sst.SolverRuns, queries)
+	}
+}
+
+// TestConcurrentIdenticalQueries: N submissions of one query race
+// through the planner; all must agree, and the service must run at most
+// one solver (coalescing or cache hits absorb the rest).
+func TestConcurrentIdenticalQueries(t *testing.T) {
+	p, svc := newTestPlanner(t)
+	r := rand.New(rand.NewSource(99))
+	q, db := RandomInstance(r, GenConfig{})
+	want, err := naiveCanonical(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const dup = 8
+	var wg sync.WaitGroup
+	results := make([]Result, dup)
+	errsArr := make([]error, dup)
+	for i := 0; i < dup; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errsArr[i] = p.Eval(context.Background(), Request{Query: q, DB: db})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < dup; i++ {
+		if errsArr[i] != nil {
+			t.Fatalf("query %d: %v", i, errsArr[i])
+		}
+		if !reflect.DeepEqual(results[i].Rows.Tuples, want.Tuples) {
+			t.Fatalf("query %d disagrees with the naive baseline", i)
+		}
+	}
+	if runs := svc.Stats().SolverRuns; runs != 1 {
+		t.Fatalf("SolverRuns = %d for %d identical concurrent queries, want 1", runs, dup)
+	}
+}
+
+func TestEvalValidation(t *testing.T) {
+	p, _ := newTestPlanner(t)
+	ctx := context.Background()
+	db := join.Database{"R": join.NewRelation("a", "b").Add(1, 2)}
+
+	cases := map[string]Request{
+		"empty query":      {DB: db},
+		"missing relation": {Query: join.Query{Atoms: []join.Atom{{Relation: "S", Vars: []string{"x"}}}}, DB: db},
+		"arity mismatch":   {Query: join.Query{Atoms: []join.Atom{{Relation: "R", Vars: []string{"x"}}}}, DB: db},
+		"negative budget": {Query: join.Query{Atoms: []join.Atom{{Relation: "R", Vars: []string{"x", "y"}}}},
+			DB: db, MaxRows: -1},
+	}
+	for name, req := range cases {
+		if _, err := p.Eval(ctx, req); err == nil {
+			t.Errorf("%s: Eval should fail", name)
+		}
+	}
+	if st := p.Stats(); st.PlanFailures != int64(len(cases)) {
+		t.Fatalf("validation failures not counted: %+v", st)
+	}
+}
+
+func TestEvalWidthCeiling(t *testing.T) {
+	p, _ := newTestPlanner(t)
+	// The triangle has hw = 2: a ceiling of 1 must yield ErrNoPlan with
+	// the proven bound in the message, not a wrong answer.
+	q, err := join.ParseQuery("R(x,y), S(y,z), T(z,x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := join.Database{
+		"R": join.NewRelation("a", "b").Add(1, 2),
+		"S": join.NewRelation("a", "b").Add(2, 3),
+		"T": join.NewRelation("a", "b").Add(3, 1),
+	}
+	if _, err := p.Eval(context.Background(), Request{Query: q, DB: db, MaxWidth: 1}); !errors.Is(err, ErrNoPlan) {
+		t.Fatalf("MaxWidth=1 on the triangle: got %v, want ErrNoPlan", err)
+	}
+	res, err := p.Eval(context.Background(), Request{Query: q, DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Width != 2 || res.Rows.Size() != 1 {
+		t.Fatalf("triangle: width=%d rows=%d, want width 2, 1 row", res.Width, res.Rows.Size())
+	}
+	if !reflect.DeepEqual(res.Rows.Attrs, []string{"x", "y", "z"}) {
+		t.Fatalf("canonical attrs: %v", res.Rows.Attrs)
+	}
+}
+
+func TestEvalRowBudget(t *testing.T) {
+	p, _ := newTestPlanner(t)
+	// A cross-join-heavy query whose full answer set is large.
+	q, err := join.ParseQuery("R(x,y), S(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, s := join.NewRelation("a", "b"), join.NewRelation("a", "b")
+	for i := 0; i < 30; i++ {
+		r.Add(i, 0)
+		s.Add(0, i)
+	}
+	db := join.Database{"R": r, "S": s}
+	if _, err := p.Eval(context.Background(), Request{Query: q, DB: db, MaxRows: 10}); !errors.Is(err, join.ErrRowBudget) {
+		t.Fatalf("row budget: got %v, want join.ErrRowBudget", err)
+	}
+	res, err := p.Eval(context.Background(), Request{Query: q, DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.Size() != 900 {
+		t.Fatalf("unbudgeted rows = %d, want 900", res.Rows.Size())
+	}
+	if st := p.Stats(); st.ExecFailures != 1 || st.RowsReturned != 900 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestEvalCancellation(t *testing.T) {
+	p, _ := newTestPlanner(t)
+	r := rand.New(rand.NewSource(7))
+	q, db := RandomInstance(r, GenConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Eval(ctx, Request{Query: q, DB: db}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context: got %v, want context.Canceled", err)
+	}
+}
+
+// TestRandomInstanceDeterministic: the generator is a pure function of
+// its rand source — the bench harness and the differential suite rely
+// on replaying identical workloads.
+func TestRandomInstanceDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		q1, db1 := RandomInstance(rand.New(rand.NewSource(seed)), GenConfig{})
+		q2, db2 := RandomInstance(rand.New(rand.NewSource(seed)), GenConfig{})
+		if !reflect.DeepEqual(q1, q2) {
+			t.Fatalf("seed %d: queries differ", seed)
+		}
+		if !reflect.DeepEqual(db1, db2) {
+			t.Fatalf("seed %d: databases differ", seed)
+		}
+		if len(q1.Atoms) < 2 {
+			t.Fatalf("seed %d: %d atoms", seed, len(q1.Atoms))
+		}
+	}
+	// Degenerate bounds are clamped, not a panic.
+	q, _ := RandomInstance(rand.New(rand.NewSource(1)), GenConfig{MaxAtoms: 1})
+	if len(q.Atoms) != 2 {
+		t.Fatalf("MaxAtoms=1 should clamp to 2 atoms, got %d", len(q.Atoms))
+	}
+}
