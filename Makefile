@@ -1,12 +1,15 @@
 # Local targets mirror .github/workflows/ci.yml one to one, so a green
-# `make ci` means a green CI run.
+# `make ci` means a green CI run (`make lint` needs staticcheck on PATH;
+# the nightly workflow additionally runs `make fuzz-long`).
 
 GO ?= go
 # Benchmark artifact produced by `make bench` and uploaded by CI; bump
 # per PR so artifacts stay comparable across the perf trajectory.
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
+# Committed baseline the bench-regression gate compares against.
+BENCH_BASELINE ?= BENCH_PR4.json
 
-.PHONY: all build fmt fmt-check vet test race bench stress differential fuzz serve ci
+.PHONY: all build fmt fmt-check vet lint test race bench bench-exec bench-gate stress differential fuzz fuzz-long serve ci
 
 all: build
 
@@ -24,6 +27,14 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# Mirrors the CI lint job. Install the pinned version with:
+#   go install honnef.co/go/tools/cmd/staticcheck@2025.1.1
+lint:
+	@command -v staticcheck >/dev/null 2>&1 || { \
+		echo "staticcheck not found; install with:"; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@2025.1.1"; exit 1; }
+	staticcheck ./...
+
 test:
 	$(GO) test ./...
 
@@ -32,7 +43,21 @@ race:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
-	$(GO) run ./cmd/benchtab -experiment query -benchjson $(BENCH_JSON) -quiet
+	$(GO) run ./cmd/benchtab -experiment exec -benchjson $(BENCH_JSON) -quiet
+
+# The PR's executor benchmark: serial slice-scan vs indexed vs parallel
+# indexed Yannakakis over identical plans (writes $(BENCH_JSON)).
+bench-exec:
+	$(GO) run ./cmd/benchtab -experiment exec -benchjson $(BENCH_JSON) -quiet
+
+# The bench-regression gate CI runs on every PR: a fresh query
+# experiment must not regress the warm-plan suite >25% against the
+# committed $(BENCH_BASELINE); the cold entries calibrate out the
+# machine-speed difference between this host and the baseline's.
+bench-gate:
+	$(GO) run ./cmd/benchtab -experiment query \
+		-benchjson /tmp/BENCH_query_fresh.json \
+		-compare $(BENCH_BASELINE) -tolerance 0.25 -calibrate query-cold -quiet
 
 stress:
 	$(GO) test -race -count=2 -run 'TestStoreStress|TestCoalescing|TestBatchDuplicates|TestSnapshot|TestServeCache|TestShardedConcurrency|TestFlight' ./internal/store ./internal/service ./cmd/htdserve
@@ -44,7 +69,12 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecomposeCheckHD -fuzztime=10s .
 	$(GO) test -run=NONE -fuzz=FuzzParseQuery -fuzztime=10s ./internal/join
 
+# The nightly workflow's long-form fuzz: 5 minutes per target.
+fuzz-long:
+	$(GO) test -run=NONE -fuzz=FuzzDecomposeCheckHD -fuzztime=5m .
+	$(GO) test -run=NONE -fuzz=FuzzParseQuery -fuzztime=5m ./internal/join
+
 serve:
 	$(GO) run ./cmd/htdserve
 
-ci: fmt-check vet build race bench stress differential fuzz
+ci: fmt-check vet lint build race bench bench-gate stress differential fuzz

@@ -9,17 +9,31 @@
 //	benchtab -experiment figure3 -csv scatter.csv
 //
 // Experiments: table1 table2 table3 table4 table5 figure1 figure3
-// ablation depth ghd race store query all
+// ablation depth ghd race store query exec all
 //
 // The race experiment compares the serial k = 1..kmax width ladder
 // against the optimal-width racing service pipeline; the store
 // experiment measures the unified decomposition store (cold-vs-warm
 // repeat traffic and request coalescing); the query experiment drives
 // the end-to-end conjunctive-query pipeline (Yannakakis over
-// store-cached decompositions) with cold-plan vs warm-plan traffic.
+// store-cached decompositions) with cold-plan vs warm-plan traffic;
+// the exec experiment races the three executor kernels (legacy
+// slice-scan, hash-indexed, parallel indexed) over identical plans.
 // With -benchjson any of them writes its measurements as a JSON
-// benchmark artifact (BENCH_PR4.json in CI) so the perf trajectory is
+// benchmark artifact (BENCH_PR5.json in CI) so the perf trajectory is
 // tracked across PRs.
+//
+// With -compare the fresh -benchjson artifact is additionally diffed
+// against a committed baseline and the process exits non-zero when any
+// gated entry (-gate prefixes, default the warm-plan suite) regressed
+// its ns/op by more than -tolerance — the CI bench-regression gate:
+//
+//	benchtab -experiment query -benchjson fresh.json \
+//	    -compare BENCH_PR4.json -tolerance 0.25 -calibrate query-cold
+//
+// -calibrate divides the median fresh/baseline ratio of the named
+// entries (machine speed) out of every gated ratio, so a committed
+// baseline from one host gates code, not hardware, on another.
 package main
 
 import (
@@ -47,6 +61,10 @@ func main() {
 		benchJSON  = flag.String("benchjson", "", "write race-experiment benchmark JSON here")
 		rounds     = flag.Int("rounds", 3, "traffic rounds for the race experiment")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		compare    = flag.String("compare", "", "baseline benchmark JSON to gate the fresh -benchjson run against")
+		tolerance  = flag.Float64("tolerance", 0.25, "max fractional ns/op regression for gated entries")
+		gate       = flag.String("gate", "query-warmup", "comma-separated entry-name prefixes the -compare gate enforces (default: the warm-plan suite aggregate; per-bucket entries are sub-ms and too noisy to gate)")
+		calibrate  = flag.String("calibrate", "", "entry-name prefix whose median fresh/baseline ratio is divided out as machine speed (e.g. query-cold)")
 	)
 	flag.Parse()
 
@@ -154,6 +172,12 @@ func main() {
 				return err
 			}
 			fmt.Print(tab.Render())
+		case "exec":
+			tab, err := execExperiment(ctx, cfg, *benchJSON)
+			if err != nil {
+				return err
+			}
+			fmt.Print(tab.Render())
 		case "depth":
 			fmt.Print(harness.DepthExperiment(ctx, []int{16, 32, 64, 128, 256, 512}).Render())
 		case "ghd":
@@ -179,13 +203,40 @@ func main() {
 	names := []string{*experiment}
 	if *experiment == "all" {
 		names = []string{"table1", "table2", "table3", "table4", "table5",
-			"figure1", "figure3", "ablation", "depth", "ghd", "race", "store", "query"}
+			"figure1", "figure3", "ablation", "depth", "ghd", "race", "store", "query", "exec"}
 	}
 	for _, n := range names {
 		if err := run(strings.TrimSpace(n)); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *compare != "" {
+		if *benchJSON == "" {
+			fmt.Fprintln(os.Stderr, "benchtab: -compare requires -benchjson (the fresh run to gate)")
+			os.Exit(2)
+		}
+		fresh, err := readBenchJSON(*benchJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(2)
+		}
+		baseline, err := readBenchJSON(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(2)
+		}
+		report, failures := compareBench(fresh, baseline, strings.Split(*gate, ","), *tolerance, *calibrate)
+		fmt.Print(report)
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "benchtab: bench-regression gate FAILED (%d violations):\n", len(failures))
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "  -", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("bench-regression gate passed")
 	}
 }
 

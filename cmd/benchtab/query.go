@@ -107,20 +107,32 @@ func queryExperiment(ctx context.Context, cfg harness.Config, jsonPath string) (
 			svc.Close()
 			return nil, fmt.Errorf("bucket %s cold pass: %w", b.name, err)
 		}
-		warmMS, warmPlanMS, warmRows, err := pass()
+		// Warm passes are milliseconds of wall time, so one pass is at
+		// the mercy of scheduling noise; the bench-regression gate
+		// compares these numbers across runs, so measure best-of-3.
+		const warmPasses = 3
+		var warmMS, warmPlanMS float64
+		for p := 0; p < warmPasses; p++ {
+			ms, planMS, warmRows, werr := pass()
+			if werr != nil {
+				svc.Close()
+				return nil, fmt.Errorf("bucket %s warm pass: %w", b.name, werr)
+			}
+			if warmRows != coldRows {
+				svc.Close()
+				return nil, fmt.Errorf("bucket %s: warm pass returned %d rows, cold pass %d", b.name, warmRows, coldRows)
+			}
+			if p == 0 || ms < warmMS {
+				warmMS, warmPlanMS = ms, planMS
+			}
+		}
 		// Warm-pass hits are the delta over the cold pass (structurally
 		// identical instances can already hit within the cold pass).
 		warmHits := planner.Stats().PlanCacheHits - stCold.PlanCacheHits
 		sst := svc.Stats()
 		svc.Close()
-		if err != nil {
-			return nil, fmt.Errorf("bucket %s warm pass: %w", b.name, err)
-		}
-		if warmRows != coldRows {
-			return nil, fmt.Errorf("bucket %s: warm pass returned %d rows, cold pass %d", b.name, warmRows, coldRows)
-		}
-		if int(warmHits) < b.n {
-			return nil, fmt.Errorf("bucket %s: only %d plan-cache hits for %d repeated queries", b.name, warmHits, b.n)
+		if int(warmHits) < warmPasses*b.n {
+			return nil, fmt.Errorf("bucket %s: only %d plan-cache hits for %d repeated queries", b.name, warmHits, warmPasses*b.n)
 		}
 		if sst.SolverRuns > int64(b.n) {
 			return nil, fmt.Errorf("bucket %s: %d solver runs for %d distinct queries", b.name, sst.SolverRuns, b.n)
@@ -143,7 +155,7 @@ func queryExperiment(ctx context.Context, cfg harness.Config, jsonPath string) (
 				NsPerOp: warmMS * 1e6 / float64(b.n),
 				Ops:     b.n, Solved: b.n, WallMS: warmMS,
 				Workers: cfg.Workers, Rounds: 1,
-				Notes: fmt.Sprintf("identical repeat traffic: %d of %d plans from the cache, %d solver runs across both passes; %.1fx faster than cold", warmHits, b.n, sst.SolverRuns, warmup),
+				Notes: fmt.Sprintf("identical repeat traffic, best of %d passes: %d plan-cache hits, %d solver runs total; %.1fx faster than cold", warmPasses, warmHits, sst.SolverRuns, warmup),
 			})
 		t.AddRow(b.name, b.n,
 			fmt.Sprintf("%.1f", coldMS), fmt.Sprintf("%.1f", coldPlanMS),
@@ -166,7 +178,7 @@ func queryExperiment(ctx context.Context, cfg harness.Config, jsonPath string) (
 	}
 	t.Notes = append(t.Notes,
 		"cold: seeded random CQs answered via htd.EvalQuery against an empty store (plan = racing optimal-width solve)",
-		"warm: the identical queries again; every plan is a positive store hit (re-validated witness, zero solver runs)",
+		"warm: the identical queries again (best of 3 passes); every plan is a positive store hit (zero solver runs)",
 		"plan-ms columns are per-query plan times summed over concurrent queries; *-ms columns are pass wall time",
 		"rows are identical across passes; execution (Yannakakis over the bags) runs in full in both")
 

@@ -317,6 +317,11 @@ type queryAPIRequest struct {
 	MaxRows int `json:"max_rows,omitempty"`
 	// TimeoutMS bounds the whole query (planning + execution).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Parallelism caps the executor's concurrent workers for this query
+	// (sibling subtrees and large final-join partitions); spawned
+	// workers lease tokens from the server's shared budget. 0 or 1 =
+	// serial. Rows are byte-identical at any setting.
+	Parallelism int `json:"parallelism,omitempty"`
 	// Workers caps solver parallelism for cold plans (0 = service
 	// default).
 	Workers int `json:"workers,omitempty"`
@@ -341,11 +346,26 @@ type queryAPIResponse struct {
 	PlanCoalesced bool    `json:"plan_coalesced,omitempty"`
 	PlanMS        float64 `json:"plan_ms"`
 	ExecMS        float64 `json:"exec_ms"`
-	Error         string  `json:"error,omitempty"`
-	TimedOut      bool    `json:"timed_out,omitempty"`
+	// Parallelism is the executor worker cap the query ran with; Exec
+	// carries the executor's effort counters for this query.
+	Parallelism int            `json:"parallelism,omitempty"`
+	Exec        *execStatsWire `json:"exec,omitempty"`
+	Error       string         `json:"error,omitempty"`
+	TimedOut    bool           `json:"timed_out,omitempty"`
 
 	// err keeps the underlying error for status-code mapping.
 	err error
+}
+
+// execStatsWire is the JSON shape of one query's executor counters.
+type execStatsWire struct {
+	IndexBuilds   int64 `json:"index_builds"`
+	IndexProbes   int64 `json:"index_probes"`
+	Semijoins     int64 `json:"semijoins"`
+	Joins         int64 `json:"joins"`
+	ParallelTasks int64 `json:"parallel_tasks"`
+	InlineTasks   int64 `json:"inline_tasks"`
+	MaxWorkers    int64 `json:"max_workers"`
 }
 
 // runQuery answers one parsed query request and shapes the result for
@@ -357,6 +377,9 @@ func (s *server) runQuery(ctx context.Context, a queryAPIRequest) *queryAPIRespo
 	if a.TimeoutMS < 0 {
 		return &queryAPIResponse{Error: "\"timeout_ms\" must be >= 0", err: errBadRequest}
 	}
+	if a.Parallelism < 0 {
+		return &queryAPIResponse{Error: "\"parallelism\" must be >= 0", err: errBadRequest}
+	}
 	q, err := htd.ParseCQ(a.Query)
 	if err != nil {
 		return &queryAPIResponse{Error: "parse query: " + err.Error(), err: errBadRequest}
@@ -366,12 +389,13 @@ func (s *server) runQuery(ctx context.Context, a queryAPIRequest) *queryAPIRespo
 		return &queryAPIResponse{Error: "parse database: " + err.Error(), err: errBadRequest}
 	}
 	res, err := s.planner.Eval(ctx, htd.QueryRequest{
-		Query:    q,
-		DB:       db,
-		MaxWidth: a.MaxWidth,
-		MaxRows:  a.MaxRows,
-		Timeout:  time.Duration(a.TimeoutMS) * time.Millisecond,
-		Workers:  a.Workers,
+		Query:       q,
+		DB:          db,
+		MaxWidth:    a.MaxWidth,
+		MaxRows:     a.MaxRows,
+		Timeout:     time.Duration(a.TimeoutMS) * time.Millisecond,
+		Parallelism: a.Parallelism,
+		Workers:     a.Workers,
 	})
 	if err != nil {
 		resp := &queryAPIResponse{Error: err.Error(), err: err}
@@ -399,6 +423,16 @@ func (s *server) runQuery(ctx context.Context, a queryAPIRequest) *queryAPIRespo
 		PlanCoalesced: res.PlanCoalesced,
 		PlanMS:        float64(res.PlanElapsed) / float64(time.Millisecond),
 		ExecMS:        float64(res.ExecElapsed) / float64(time.Millisecond),
+		Parallelism:   res.Parallelism,
+		Exec: &execStatsWire{
+			IndexBuilds:   res.Exec.IndexBuilds,
+			IndexProbes:   res.Exec.IndexProbes,
+			Semijoins:     res.Exec.Semijoins,
+			Joins:         res.Exec.Joins,
+			ParallelTasks: res.Exec.ParallelTasks,
+			InlineTasks:   res.Exec.InlineTasks,
+			MaxWorkers:    res.Exec.MaxWorkers,
+		},
 	}
 	if !a.OmitRows {
 		resp.Vars = res.Rows.Attrs

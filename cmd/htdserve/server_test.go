@@ -567,6 +567,58 @@ func TestServeQueryModes(t *testing.T) {
 	}
 }
 
+// TestServeQueryParallelism: a /query with "parallelism" runs the
+// parallel indexed executor — same bytes as the serial answer, the
+// effective parallelism echoed, executor counters populated, and the
+// planner's executor aggregates surfaced under /stats.
+func TestServeQueryParallelism(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	_, serial, rawSerial := postQuery(t, ts.URL+"/query", triangleQueryBody)
+	if !serial.OK || serial.Parallelism != 1 {
+		t.Fatalf("serial query: %+v", serial)
+	}
+	if serial.Exec == nil || serial.Exec.Semijoins == 0 {
+		t.Fatalf("executor counters missing on the serial answer: %+v", serial.Exec)
+	}
+
+	parBody := strings.TrimSuffix(triangleQueryBody, "}") + `,"parallelism":4}`
+	resp, par, rawPar := postQuery(t, ts.URL+"/query", parBody)
+	if resp.StatusCode != http.StatusOK || !par.OK {
+		t.Fatalf("parallel query: status=%d %+v", resp.StatusCode, par)
+	}
+	if par.Parallelism != 4 {
+		t.Fatalf("parallelism echoed as %d, want 4", par.Parallelism)
+	}
+	if got, want := rawRows(t, rawPar), rawRows(t, rawSerial); !bytes.Equal(got, want) {
+		t.Fatalf("parallel rows not byte-identical to serial:\n%s\nvs\n%s", got, want)
+	}
+	if par.Exec == nil || par.Exec.IndexBuilds == 0 {
+		t.Fatalf("executor counters missing on the parallel answer: %+v", par.Exec)
+	}
+
+	// Negative parallelism is the client's fault.
+	resp, _, raw := postQuery(t, ts.URL+"/query",
+		strings.TrimSuffix(triangleQueryBody, "}")+`,"parallelism":-1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("parallelism=-1: status %d, want 400 (%s)", resp.StatusCode, raw)
+	}
+
+	// /stats aggregates the executor effort across queries.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Query.ExecIndexBuilds == 0 || st.Query.ExecParallelQueries != 1 {
+		t.Fatalf("executor counters not aggregated in /stats: %+v", st.Query)
+	}
+}
+
 // TestServeQueryBatch drives /querybatch: NDJSON in, NDJSON out in
 // input order, per-line errors isolated, and duplicate lines planning
 // once through the shared store.

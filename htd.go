@@ -285,15 +285,26 @@ func ParseRelations(src string) (Database, error) { return join.ParseRelations(s
 // with NewQueryPlanner and share it between goroutines.
 type QueryPlanner = query.Planner
 
-// QueryRequest is one conjunctive query to answer.
+// QueryRequest is one conjunctive query to answer. Set Parallelism > 1
+// to run the executor's sibling subtrees and large final-join probe
+// loops on a worker pool drawn from the service's shared token budget
+// (answers stay byte-identical to serial execution).
 type QueryRequest = query.Request
 
 // QueryResult is the outcome of one answered query: canonical rows,
-// plan width, cache provenance, and plan/execution timings.
+// plan width, cache provenance, plan/execution timings, and the
+// executor's effort counters.
 type QueryResult = query.Result
 
-// QueryStats is a snapshot of a QueryPlanner's counters.
+// QueryStats is a snapshot of a QueryPlanner's counters, including the
+// aggregated executor effort (indexes built, tuples probed, parallel
+// vs inline tasks).
 type QueryStats = query.Stats
+
+// QueryExecStats is one query's executor effort: hash indexes built,
+// tuples probed, relational operations run, and how much of the work
+// ran on spawned workers (QueryResult.Exec).
+type QueryExecStats = join.ExecStats
 
 // NewQueryPlanner returns a planner executing queries over svc.
 func NewQueryPlanner(svc *Service) *QueryPlanner { return query.NewPlanner(svc) }

@@ -1,0 +1,567 @@
+package join
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/decomp"
+)
+
+// Kernel selects the relational kernel backing an evaluation.
+type Kernel int
+
+const (
+	// KernelIndexed (the default) evaluates over build-once hash indexes
+	// keyed on the shared variables of each join-tree edge, optionally in
+	// parallel (EvalOptions.Parallelism). Its output is byte-identical to
+	// the scan kernel's.
+	KernelIndexed Kernel = iota
+	// KernelScan is the legacy slice-scan kernel: every semijoin and join
+	// re-scans tuple slices with formatted string keys. Kept as the
+	// benchmark baseline and as an independent implementation for
+	// differential tests.
+	KernelScan
+)
+
+// TokenSource supplies the extra-worker tokens a parallel evaluation's
+// spawned subtree tasks draw from. It mirrors logk.TokenSource
+// structurally (service.TokenBudget satisfies both), so query execution
+// and decomposition jobs can share one process-wide budget without this
+// package importing the solver. Implementations must be safe for
+// concurrent use.
+type TokenSource interface {
+	// TryAcquire takes up to max tokens without blocking and returns how
+	// many it got (0..max).
+	TryAcquire(max int) int
+	// Release returns n previously acquired tokens.
+	Release(n int)
+}
+
+// ExecStats counts one evaluation's executor effort. Populate it by
+// pointing EvalOptions.Stats at a zero value.
+type ExecStats struct {
+	// IndexBuilds and IndexProbes count hash indexes built and tuples
+	// probed against them (KernelIndexed only).
+	IndexBuilds int64
+	IndexProbes int64
+	// Semijoins and Joins count relational operations executed.
+	Semijoins int64
+	Joins     int64
+	// ParallelTasks counts subtree/partition tasks run on spawned
+	// workers; InlineTasks those run on the task that scheduled them.
+	ParallelTasks int64
+	InlineTasks   int64
+	// MaxWorkers is the maximum number of workers (including the
+	// caller's goroutine) observed running concurrently.
+	MaxWorkers int64
+}
+
+// pollEvery is the probe-loop cancellation granularity: long scans check
+// the context every pollEvery iterations, so a single huge semijoin or
+// join cannot blow past the query deadline the way the scan kernel's
+// between-ops checks allow.
+const pollEvery = 1024
+
+// parallelJoinMinRows is the probe-side size beyond which a final-pass
+// join partitions its probe loop across workers.
+const parallelJoinMinRows = 4096
+
+// executor runs one indexed evaluation: bag materialisation and the
+// three Yannakakis passes over hash indexes, with sibling subtrees (and
+// large final-join probe loops) running concurrently on a bounded worker
+// pool. All workers are joined before any entry point returns, so an
+// aborted evaluation leaks no goroutines.
+type executor struct {
+	g      *guard
+	cancel context.CancelFunc
+	// sem bounds spawned workers to Parallelism-1 (nil = serial);
+	// tokens, when set, additionally gates each spawn on the shared
+	// process-wide budget.
+	sem    chan struct{}
+	tokens TokenSource
+
+	mu  sync.Mutex
+	err error // first failure; later (usually cancellation) errors are noise
+
+	indexBuilds   atomic.Int64
+	indexProbes   atomic.Int64
+	semijoins     atomic.Int64
+	joins         atomic.Int64
+	parallelTasks atomic.Int64
+	inlineTasks   atomic.Int64
+	workers       atomic.Int64
+	maxWorkers    atomic.Int64
+}
+
+// evaluateIndexed is the KernelIndexed entry point behind EvaluateCtx.
+func evaluateIndexed(ctx context.Context, q Query, db Database, d *decomp.Decomp, opts EvalOptions) (*Relation, error) {
+	ectx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	e := &executor{
+		g:      &guard{ctx: ectx, maxRows: opts.MaxRows},
+		cancel: cancel,
+		tokens: opts.Tokens,
+	}
+	if opts.Parallelism > 1 {
+		e.sem = make(chan struct{}, opts.Parallelism-1)
+	}
+	e.workers.Store(1)
+	e.maxWorkers.Store(1)
+
+	res, err := e.run(q, db, d)
+	if opts.Stats != nil {
+		*opts.Stats = ExecStats{
+			IndexBuilds:   e.indexBuilds.Load(),
+			IndexProbes:   e.indexProbes.Load(),
+			Semijoins:     e.semijoins.Load(),
+			Joins:         e.joins.Load(),
+			ParallelTasks: e.parallelTasks.Load(),
+			InlineTasks:   e.inlineTasks.Load(),
+			MaxWorkers:    e.maxWorkers.Load(),
+		}
+	}
+	if err != nil {
+		// Prefer the first recorded failure: sibling tasks that died of
+		// the executor-internal cancellation it triggered are symptoms.
+		if first := e.firstErr(); first != nil {
+			return nil, first
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+// fail records the evaluation's first error and cancels the executor's
+// context so every other branch winds down promptly.
+func (e *executor) fail(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+		e.cancel()
+	}
+	e.mu.Unlock()
+}
+
+func (e *executor) firstErr() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// trySpawn reserves a worker slot (and a shared-budget token when one is
+// configured). It never blocks: when the pool is exhausted the caller
+// runs the task inline instead, so progress is guaranteed even with a
+// zero-token budget.
+func (e *executor) trySpawn() bool {
+	if e.sem == nil {
+		return false
+	}
+	select {
+	case e.sem <- struct{}{}:
+	default:
+		return false
+	}
+	if e.tokens != nil && e.tokens.TryAcquire(1) == 0 {
+		<-e.sem
+		return false
+	}
+	cur := e.workers.Add(1)
+	for {
+		hw := e.maxWorkers.Load()
+		if cur <= hw || e.maxWorkers.CompareAndSwap(hw, cur) {
+			break
+		}
+	}
+	return true
+}
+
+func (e *executor) releaseWorker() {
+	e.workers.Add(-1)
+	if e.tokens != nil {
+		e.tokens.Release(1)
+	}
+	<-e.sem
+}
+
+// forEach runs f(0..n-1): items beyond the first run on spawned workers
+// when slots and tokens are available, inline otherwise, and item 0 on
+// the calling task. It waits for every spawned item before returning, so
+// callers never race their results, and returns the executor's first
+// recorded error when any item failed.
+func (e *executor) forEach(n int, f func(int) error) error {
+	if n == 0 {
+		return nil
+	}
+	run := func(i int, parallel bool) {
+		if parallel {
+			e.parallelTasks.Add(1)
+		} else {
+			e.inlineTasks.Add(1)
+		}
+		if err := e.g.ctx.Err(); err != nil {
+			e.fail(err)
+			return
+		}
+		if err := f(i); err != nil {
+			e.fail(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		if e.trySpawn() {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer e.releaseWorker()
+				run(i, true)
+			}(i)
+		} else {
+			run(i, false)
+		}
+	}
+	run(0, false)
+	wg.Wait()
+	return e.firstErr()
+}
+
+// index builds (and counts) a hash index of r on attrs. Reuse is the
+// caller's job where it exists — the top-down pass keeps a per-node
+// cache of its parent's indexes (see down) rather than the executor
+// caching globally, so indexes on superseded intermediates don't pin
+// their tuple storage for the whole evaluation.
+func (e *executor) index(r *Relation, attrs []string) (*hashIndex, error) {
+	e.indexBuilds.Add(1)
+	return buildIndex(r, attrs, e.g)
+}
+
+// semijoin returns r ⋉ s by probing a hash index of s on the shared
+// attributes.
+func (e *executor) semijoin(r, s *Relation) (*Relation, error) {
+	shared := sharedAttrs(r, s)
+	if len(shared) == 0 {
+		e.semijoins.Add(1)
+		out := NewRelation(r.Attrs...)
+		if s.Size() > 0 {
+			out.Tuples = append(out.Tuples, r.Tuples...)
+		}
+		return out, nil
+	}
+	ix, err := e.index(s, shared)
+	if err != nil {
+		return nil, err
+	}
+	return e.semijoinProbe(r, shared, ix)
+}
+
+// semijoinProbe filters r to the tuples whose key on shared hits ix (a
+// prebuilt index of the other relation on the same attributes). The
+// probe loop polls the context every pollEvery tuples — the fix for the
+// scan kernel's "budgets checked only between ops" gap.
+func (e *executor) semijoinProbe(r *Relation, shared []string, ix *hashIndex) (*Relation, error) {
+	e.semijoins.Add(1)
+	rIdx, err := r.attrIndex(shared)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(r.Attrs...)
+	buf := make([]byte, 0, 8*len(rIdx))
+	for i, t := range r.Tuples {
+		if err := e.g.poll(i); err != nil {
+			return nil, err
+		}
+		buf = appendTupleKey(buf[:0], t, rIdx)
+		if len(ix.probe(buf)) > 0 {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	e.indexProbes.Add(int64(len(r.Tuples)))
+	return out, nil
+}
+
+// join returns the natural join r ⋈ s via a hash index of s on the
+// shared attributes. Output row order matches the scan kernel exactly:
+// probe tuples in r order, matches in s insertion order. Large probe
+// sides are partitioned across workers and the partitions concatenated
+// in order, so the parallel result stays byte-identical. The row budget
+// is enforced inside the probe loop, not just on the finished relation.
+func (e *executor) join(r, s *Relation) (*Relation, error) {
+	e.joins.Add(1)
+	shared := sharedAttrs(r, s)
+	rIdx, err := r.attrIndex(shared)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := e.index(s, shared)
+	if err != nil {
+		return nil, err
+	}
+	outAttrs, sExtra := joinSchema(r, s, shared)
+
+	// produced tracks rows across all partitions so a single exploding
+	// join aborts at the budget instead of materialising past it. The
+	// check runs inside the per-key match loop too: one skewed join key
+	// whose bucket alone exceeds the budget must abort mid-bucket, not
+	// after materialising it.
+	var produced atomic.Int64
+	probeRange := func(lo, hi int) ([][]int, error) {
+		var rows [][]int
+		buf := make([]byte, 0, 8*len(rIdx))
+		flushed := 0
+		flush := func() error {
+			if err := e.g.checkRows(int(produced.Add(int64(len(rows) - flushed)))); err != nil {
+				return err
+			}
+			flushed = len(rows)
+			return e.g.ctx.Err()
+		}
+		for i := lo; i < hi; i++ {
+			if err := e.g.poll(i - lo); err != nil {
+				return nil, err
+			}
+			buf = appendTupleKey(buf[:0], r.Tuples[i], rIdx)
+			for _, j := range ix.probe(buf) {
+				u := s.Tuples[j]
+				row := make([]int, 0, len(outAttrs))
+				row = append(row, r.Tuples[i]...)
+				for _, c := range sExtra {
+					row = append(row, u[c])
+				}
+				rows = append(rows, row)
+				if len(rows)-flushed >= pollEvery {
+					if err := flush(); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if len(rows) > flushed {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+		return rows, nil
+	}
+
+	out := NewRelation(outAttrs...)
+	e.indexProbes.Add(int64(len(r.Tuples)))
+	if e.sem != nil && len(r.Tuples) >= parallelJoinMinRows {
+		chunks := cap(e.sem) + 1
+		if max := len(r.Tuples) / parallelJoinMinRows; chunks > max {
+			chunks = max
+		}
+		size := (len(r.Tuples) + chunks - 1) / chunks
+		parts := make([][][]int, chunks)
+		err := e.forEach(chunks, func(c int) error {
+			lo := c * size
+			hi := lo + size
+			if hi > len(r.Tuples) {
+				hi = len(r.Tuples)
+			}
+			rows, err := probeRange(lo, hi)
+			if err != nil {
+				return err
+			}
+			parts[c] = rows
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range parts {
+			out.Tuples = append(out.Tuples, p...)
+		}
+		return out, nil
+	}
+	rows, err := probeRange(0, len(r.Tuples))
+	if err != nil {
+		return nil, err
+	}
+	out.Tuples = rows
+	return out, nil
+}
+
+// run evaluates the query: indexed bag materialisation, the two semijoin
+// passes, and the final join pass, with sibling subtrees concurrent in
+// every phase.
+func (e *executor) run(q Query, db Database, d *decomp.Decomp) (*Relation, error) {
+	coverOf, err := assignAtomCovers(q, d)
+	if err != nil {
+		return nil, err
+	}
+
+	root, err := e.build(q, db, d, coverOf, d.Root)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.up(root); err != nil {
+		return nil, err
+	}
+	if err := e.down(root); err != nil {
+		return nil, err
+	}
+	res, err := e.collect(root)
+	if err != nil {
+		return nil, err
+	}
+	return dedupFast(res, e.g)
+}
+
+// build materialises the bag relation of n (join of the λ(u) atom
+// relations, projected to χ(u), with covering atoms enforced) and
+// recurses into the children concurrently.
+func (e *executor) build(q Query, db Database, d *decomp.Decomp, coverOf map[*decomp.Node][]int, n *decomp.Node) (*bagNode, error) {
+	var acc *Relation
+	for _, eid := range n.Lambda {
+		r, err := atomRelation(db, q.Atoms[eid])
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = r
+		} else {
+			acc, err = e.join(acc, r)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := e.g.check(acc); err != nil {
+			return nil, err
+		}
+	}
+	if acc == nil {
+		return nil, fmt.Errorf("join: node with empty λ-label")
+	}
+	var bagAttrs []string
+	n.Bag.ForEach(func(v int) { bagAttrs = append(bagAttrs, d.H.VertexName(v)) })
+	proj, err := projectFast(acc, bagAttrs, e.g)
+	if err != nil {
+		return nil, err
+	}
+	for _, eid := range coverOf[n] {
+		r, err := atomRelation(db, q.Atoms[eid])
+		if err != nil {
+			return nil, err
+		}
+		proj, err = e.semijoin(proj, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := e.g.check(proj); err != nil {
+		return nil, err
+	}
+	bn := &bagNode{rel: proj, children: make([]*bagNode, len(n.Children))}
+	if err := e.forEach(len(n.Children), func(i int) error {
+		cb, err := e.build(q, db, d, coverOf, n.Children[i])
+		if err != nil {
+			return err
+		}
+		bn.children[i] = cb
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return bn, nil
+}
+
+// up is the bottom-up semijoin pass: children's subtrees reduce
+// concurrently, then the node filters against each reduced child.
+func (e *executor) up(n *bagNode) error {
+	if len(n.children) > 0 {
+		if err := e.forEach(len(n.children), func(i int) error {
+			return e.up(n.children[i])
+		}); err != nil {
+			return err
+		}
+		for _, c := range n.children {
+			red, err := e.semijoin(n.rel, c.rel)
+			if err != nil {
+				return err
+			}
+			n.rel = red
+		}
+	}
+	return e.g.check(n.rel)
+}
+
+// down is the top-down semijoin pass: each child filters against its
+// (already final) parent and recurses; siblings run concurrently. The
+// parent is indexed once per distinct shared-column set and the index
+// shared by all children probing it — scoped to this node, so it is
+// collectable as soon as the pass moves on.
+func (e *executor) down(n *bagNode) error {
+	if len(n.children) == 0 {
+		return nil
+	}
+	var mu sync.Mutex
+	parentIx := map[string]*hashIndex{}
+	indexOn := func(shared []string) (*hashIndex, error) {
+		key := strings.Join(shared, "\x00")
+		mu.Lock()
+		defer mu.Unlock()
+		if ix, ok := parentIx[key]; ok {
+			return ix, nil
+		}
+		ix, err := e.index(n.rel, shared)
+		if err != nil {
+			return nil, err
+		}
+		parentIx[key] = ix
+		return ix, nil
+	}
+	return e.forEach(len(n.children), func(i int) error {
+		c := n.children[i]
+		shared := sharedAttrs(c.rel, n.rel)
+		var red *Relation
+		var err error
+		if len(shared) == 0 {
+			red, err = e.semijoin(c.rel, n.rel)
+		} else {
+			var ix *hashIndex
+			if ix, err = indexOn(shared); err == nil {
+				red, err = e.semijoinProbe(c.rel, shared, ix)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		c.rel = red
+		if err := e.g.check(c.rel); err != nil {
+			return err
+		}
+		return e.down(c)
+	})
+}
+
+// collect is the final bottom-up join pass: each child's subtree result
+// materialises concurrently (a per-subtree partition of the answer's
+// provenance), then the node joins them left to right — the same merge
+// order as the scan kernel, so rows come out byte-identical.
+func (e *executor) collect(n *bagNode) (*Relation, error) {
+	subs := make([]*Relation, len(n.children))
+	if err := e.forEach(len(n.children), func(i int) error {
+		sub, err := e.collect(n.children[i])
+		if err != nil {
+			return err
+		}
+		subs[i] = sub
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	acc := n.rel
+	for _, sub := range subs {
+		var err error
+		acc, err = e.join(acc, sub)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.g.check(acc); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}

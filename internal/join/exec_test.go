@@ -1,0 +1,409 @@
+package join
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/decomp"
+	"repro/internal/logk"
+)
+
+// execOptsMatrix is every executor configuration the differential tests
+// sweep: the legacy scan baseline, the serial indexed kernel, and the
+// parallel indexed kernel with and without a token budget.
+func execOptsMatrix() map[string]EvalOptions {
+	return map[string]EvalOptions{
+		"scan":             {Kernel: KernelScan},
+		"indexed":          {},
+		"parallel":         {Parallelism: 4},
+		"parallel-tokens":  {Parallelism: 4, Tokens: newCountingTokens(3)},
+		"parallel-0tokens": {Parallelism: 4, Tokens: newCountingTokens(0)},
+	}
+}
+
+// countingTokens is a TokenSource that tracks outstanding leases, the
+// counter check that no worker leaks a token (or a goroutine holding
+// one) past the end of an evaluation.
+type countingTokens struct {
+	avail       atomic.Int64
+	outstanding atomic.Int64
+	acquires    atomic.Int64
+}
+
+func newCountingTokens(n int) *countingTokens {
+	t := &countingTokens{}
+	t.avail.Store(int64(n))
+	return t
+}
+
+func (t *countingTokens) TryAcquire(max int) int {
+	for {
+		cur := t.avail.Load()
+		if cur <= 0 {
+			return 0
+		}
+		n := int64(max)
+		if n > cur {
+			n = cur
+		}
+		if t.avail.CompareAndSwap(cur, cur-n) {
+			t.outstanding.Add(n)
+			t.acquires.Add(n)
+			return int(n)
+		}
+	}
+}
+
+func (t *countingTokens) Release(n int) {
+	t.avail.Add(int64(n))
+	t.outstanding.Add(-int64(n))
+}
+
+// randomInstanceForExec builds a random connected CQ + database, sized
+// by tuples per relation.
+func randomInstanceForExec(r *rand.Rand, atoms, tuples, domain int) (Query, Database) {
+	var q Query
+	db := Database{}
+	nv := atoms + 2
+	for i := 0; i < atoms; i++ {
+		arity := 2
+		vars := make([]string, arity)
+		vars[0] = "x" + strconv.Itoa(r.Intn(nv))
+		for {
+			v := "x" + strconv.Itoa(r.Intn(nv))
+			if v != vars[0] {
+				vars[1] = v
+				break
+			}
+		}
+		if i > 0 {
+			// Keep the query connected: reuse a variable from atom 0.
+			vars[0] = q.Atoms[0].Vars[r.Intn(2)]
+			if vars[1] == vars[0] {
+				vars[1] = "x" + strconv.Itoa(nv)
+			}
+		}
+		name := "R" + strconv.Itoa(i)
+		rel := NewRelation("a", "b")
+		for j := 0; j < tuples; j++ {
+			rel.Add(r.Intn(domain), r.Intn(domain))
+		}
+		db[name] = rel
+		q.Atoms = append(q.Atoms, Atom{Relation: name, Vars: vars})
+	}
+	return q, db
+}
+
+func decomposeFor(t *testing.T, q Query) *decomp.Decomp {
+	t.Helper()
+	h, err := q.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= len(q.Atoms); k++ {
+		d, ok, err := logk.New(h, logk.Options{K: k}).Decompose(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			return d
+		}
+	}
+	t.Fatal("no decomposition found")
+	return nil
+}
+
+// TestKernelsByteIdentical: the indexed kernel — serial and parallel —
+// must produce not just the same row set as the legacy scan kernel but
+// the very same tuple order, byte for byte.
+func TestKernelsByteIdentical(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		q, db := randomInstanceForExec(r, 3+int(seed%4), 40, 6)
+		d := decomposeFor(t, q)
+
+		want, err := EvaluateCtx(context.Background(), q, db, d, EvalOptions{Kernel: KernelScan})
+		if err != nil {
+			t.Fatalf("seed %d scan: %v", seed, err)
+		}
+		for name, opts := range execOptsMatrix() {
+			if name == "scan" {
+				continue
+			}
+			var stats ExecStats
+			opts.Stats = &stats
+			got, err := EvaluateCtx(context.Background(), q, db, d, opts)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			if !reflect.DeepEqual(got.Attrs, want.Attrs) {
+				t.Fatalf("seed %d %s: attrs %v, want %v", seed, name, got.Attrs, want.Attrs)
+			}
+			if !reflect.DeepEqual(got.Tuples, want.Tuples) {
+				t.Fatalf("seed %d %s: tuple order diverged from the scan kernel (%d vs %d rows)",
+					seed, name, got.Size(), want.Size())
+			}
+			if stats.Joins == 0 && stats.Semijoins == 0 && len(q.Atoms) > 1 {
+				t.Fatalf("seed %d %s: executor stats not populated: %+v", seed, name, stats)
+			}
+			if tok, ok := opts.Tokens.(*countingTokens); ok {
+				if n := tok.outstanding.Load(); n != 0 {
+					t.Fatalf("seed %d %s: %d tokens still outstanding after evaluation", seed, name, n)
+				}
+			}
+		}
+	}
+}
+
+// TestExecEmptyRelation: an empty atom relation empties the whole
+// answer, in every kernel, without errors.
+func TestExecEmptyRelation(t *testing.T) {
+	q := Query{Atoms: []Atom{
+		{Relation: "R", Vars: []string{"x", "y"}},
+		{Relation: "S", Vars: []string{"y", "z"}},
+		{Relation: "T", Vars: []string{"z", "w"}},
+	}}
+	db := Database{
+		"R": NewRelation("a", "b").Add(1, 2).Add(3, 4),
+		"S": NewRelation("a", "b"), // empty
+		"T": NewRelation("a", "b").Add(5, 6),
+	}
+	d := decomposeFor(t, q)
+	for name, opts := range execOptsMatrix() {
+		got, err := EvaluateCtx(context.Background(), q, db, d, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Size() != 0 {
+			t.Fatalf("%s: %d rows from a query over an empty relation", name, got.Size())
+		}
+	}
+}
+
+// TestExecDuplicateRows: duplicate input tuples must not produce
+// duplicate answers (the final dedup), in every kernel.
+func TestExecDuplicateRows(t *testing.T) {
+	q := Query{Atoms: []Atom{
+		{Relation: "R", Vars: []string{"x", "y"}},
+		{Relation: "S", Vars: []string{"y", "z"}},
+	}}
+	db := Database{
+		"R": NewRelation("a", "b").Add(1, 2).Add(1, 2).Add(1, 2).Add(3, 2),
+		"S": NewRelation("a", "b").Add(2, 9).Add(2, 9),
+	}
+	d := decomposeFor(t, q)
+	want, err := EvaluateNaive(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range execOptsMatrix() {
+		got, err := EvaluateCtx(context.Background(), q, db, d, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got.Sorted(), want.Sorted()) {
+			t.Fatalf("%s: %v, want %v", name, got.Sorted(), want.Sorted())
+		}
+		if got.Size() != 2 {
+			t.Fatalf("%s: %d rows, want 2 (dedup failed)", name, got.Size())
+		}
+	}
+}
+
+// TestExecSingleAtom: a one-atom query is a width-1 decomposition with a
+// single bag; the answer is the deduplicated relation itself.
+func TestExecSingleAtom(t *testing.T) {
+	q := Query{Atoms: []Atom{{Relation: "R", Vars: []string{"x", "y"}}}}
+	db := Database{"R": NewRelation("a", "b").Add(1, 2).Add(1, 2).Add(3, 4)}
+	d := decomposeFor(t, q)
+	for name, opts := range execOptsMatrix() {
+		got, err := EvaluateCtx(context.Background(), q, db, d, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if want := [][]int{{1, 2}, {3, 4}}; !reflect.DeepEqual(got.Sorted(), want) {
+			t.Fatalf("%s: %v, want %v", name, got.Sorted(), want)
+		}
+	}
+	// The database relation itself must stay untouched.
+	if want := [][]int{{1, 2}, {1, 2}, {3, 4}}; !reflect.DeepEqual(db["R"].Tuples, want) {
+		t.Fatalf("single-atom evaluation mutated the database: %v", db["R"].Tuples)
+	}
+}
+
+// explodingInstance is a 3-atom query whose full answer has
+// rows^2 tuples — enough work that budgets and cancellations fire while
+// the parallel passes are genuinely in flight.
+func explodingInstance(rows int) (Query, Database) {
+	q := Query{Atoms: []Atom{
+		{Relation: "R", Vars: []string{"x", "y"}},
+		{Relation: "S", Vars: []string{"y", "z"}},
+		{Relation: "T", Vars: []string{"y", "w"}},
+	}}
+	r := NewRelation("a", "b")
+	s := NewRelation("a", "b")
+	tt := NewRelation("a", "b")
+	for i := 0; i < rows; i++ {
+		r.Add(i, 0)
+		s.Add(0, i)
+		tt.Add(0, i)
+	}
+	return q, Database{"R": r, "S": s, "T": tt}
+}
+
+// leakCheck asserts the goroutine count returns to its baseline — the
+// executor must join every worker before returning, even on abort.
+func leakCheck(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestExecRowBudgetMidParallel: ErrRowBudget fires inside the parallel
+// final-join probe loops, every worker is joined, and no token stays
+// leased.
+func TestExecRowBudgetMidParallel(t *testing.T) {
+	q, db := explodingInstance(300) // 90 000 answers
+	d := decomposeFor(t, q)
+	tok := newCountingTokens(3)
+	baseline := runtime.NumGoroutine()
+	var stats ExecStats
+	_, err := EvaluateCtx(context.Background(), q, db, d, EvalOptions{
+		MaxRows: 1000, Parallelism: 4, Tokens: tok, Stats: &stats,
+	})
+	if !errors.Is(err, ErrRowBudget) {
+		t.Fatalf("got %v, want ErrRowBudget", err)
+	}
+	if n := tok.outstanding.Load(); n != 0 {
+		t.Fatalf("%d tokens still outstanding after abort", n)
+	}
+	leakCheck(t, baseline)
+}
+
+// TestExecCancelMidParallel: a context cancelled while the parallel
+// passes run aborts the evaluation promptly without leaking goroutines
+// or tokens.
+func TestExecCancelMidParallel(t *testing.T) {
+	q, db := explodingInstance(600) // 360 000 answers: enough to outlive the cancel
+	d := decomposeFor(t, q)
+	tok := newCountingTokens(3)
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	_, err := EvaluateCtx(ctx, q, db, d, EvalOptions{Parallelism: 4, Tokens: tok})
+	<-ctx.Done()
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled or nil (if the run won the race)", err)
+	}
+	if n := tok.outstanding.Load(); n != 0 {
+		t.Fatalf("%d tokens still outstanding after cancellation", n)
+	}
+	leakCheck(t, baseline)
+}
+
+// TestDownPassIndexesParentOnce: in the top-down pass, children sharing
+// a column set probe one index of their parent — k children must not
+// trigger k builds of the same index.
+func TestDownPassIndexesParentOnce(t *testing.T) {
+	parent := &bagNode{rel: NewRelation("a").Add(1).Add(2)}
+	for i := 0; i < 4; i++ {
+		child := NewRelation("a", "b").Add(1, 10+i).Add(3, 20+i)
+		parent.children = append(parent.children, &bagNode{rel: child})
+	}
+	e := &executor{g: &guard{ctx: context.Background()}, cancel: func() {}}
+	if err := e.down(parent); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.indexBuilds.Load(); n != 1 {
+		t.Fatalf("IndexBuilds = %d, want 1 (four children share the parent's index)", n)
+	}
+	for i, c := range parent.children {
+		if c.rel.Size() != 1 || c.rel.Tuples[0][0] != 1 {
+			t.Fatalf("child %d not reduced against the parent: %v", i, c.rel.Tuples)
+		}
+	}
+}
+
+// TestExecRowBudgetSkewedKey: a single join key whose match bucket alone
+// exceeds the budget must abort mid-bucket — the check cannot wait for
+// the next probe tuple.
+func TestExecRowBudgetSkewedKey(t *testing.T) {
+	// R has ONE tuple; S has 200k tuples all sharing the join key, so
+	// the whole blow-up happens inside one probe tuple's bucket loop.
+	q := Query{Atoms: []Atom{
+		{Relation: "R", Vars: []string{"x", "y"}},
+		{Relation: "S", Vars: []string{"y", "z"}},
+	}}
+	s := NewRelation("a", "b")
+	for i := 0; i < 200_000; i++ {
+		s.Add(0, i)
+	}
+	db := Database{"R": NewRelation("a", "b").Add(7, 0), "S": s}
+	d := decomposeFor(t, q)
+	start := time.Now()
+	_, err := EvaluateCtx(context.Background(), q, db, d, EvalOptions{MaxRows: 1000})
+	if !errors.Is(err, ErrRowBudget) {
+		t.Fatalf("got %v, want ErrRowBudget", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("skewed-key budget abort took %v — the in-bucket check is gone", elapsed)
+	}
+}
+
+// TestSemijoinPollsInsideProbeLoop: a deadline expiring in the middle of
+// one huge semijoin must abort that operation from within its probe
+// loop — the scan kernel would only notice after finishing the scan.
+func TestSemijoinPollsInsideProbeLoop(t *testing.T) {
+	// One semijoin with a large probe side; the deadline lands mid-scan.
+	big := NewRelation("a", "b")
+	small := NewRelation("b", "c")
+	for i := 0; i < 2_000_000; i++ {
+		big.Add(i, i%7)
+	}
+	for i := 0; i < 7; i++ {
+		small.Add(i, i)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: the in-loop poll must fire on iteration 0
+	e := &executor{g: &guard{ctx: ctx}, cancel: func() {}}
+	if _, err := e.semijoin(big, small); !errors.Is(err, context.Canceled) {
+		t.Fatalf("in-loop poll did not fire: %v", err)
+	}
+}
+
+// TestExecRowBudgetInsideJoinLoop: the indexed join aborts while
+// producing rows, long before materialising the full cross product.
+func TestExecRowBudgetInsideJoinLoop(t *testing.T) {
+	q, db := explodingInstance(2000) // 4M answers if allowed to finish
+	d := decomposeFor(t, q)
+	start := time.Now()
+	_, err := EvaluateCtx(context.Background(), q, db, d, EvalOptions{MaxRows: 500})
+	if !errors.Is(err, ErrRowBudget) {
+		t.Fatalf("got %v, want ErrRowBudget", err)
+	}
+	// Generous bound: producing 4M wide rows takes far longer than
+	// aborting at 500; this guards against the check silently moving
+	// back to "after the full operation".
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("budget abort took %v — the in-loop check is gone", elapsed)
+	}
+}

@@ -1,0 +1,110 @@
+package join
+
+// Build-once hash indexes over relations, the storage half of the
+// indexed Yannakakis executor (exec.go). An index maps the byte-encoded
+// key of a tuple's projection onto a column set — the shared variables
+// of one join-tree edge — to the positions of the matching tuples, so a
+// semijoin or join probes a map instead of re-scanning tuple slices.
+//
+// Keys are raw little-endian encodings of the key columns, not the
+// fmt-formatted strings of the legacy scan kernel (keyOf): encoding is
+// allocation-free on the probe side (the map lookup uses the string(buf)
+// no-copy form) and an order of magnitude cheaper per tuple.
+
+// hashIndex is a build-once index of one relation on one column set.
+type hashIndex struct {
+	cols    []int // key column positions in the indexed relation
+	buckets map[string][]int32
+}
+
+// appendTupleKey appends the little-endian encoding of the key columns
+// of t to dst and returns the extended buffer.
+func appendTupleKey(dst []byte, t []int, cols []int) []byte {
+	for _, c := range cols {
+		v := uint64(t[c])
+		dst = append(dst,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return dst
+}
+
+// buildIndex indexes r on attrs. Bucket tuple positions keep r's tuple
+// order, so probes that emit matches bucket-by-bucket produce the same
+// row order as the legacy scan kernel. The guard's poll keeps a huge
+// build responsive to cancellation.
+func buildIndex(r *Relation, attrs []string, g *guard) (*hashIndex, error) {
+	cols, err := r.attrIndex(attrs)
+	if err != nil {
+		return nil, err
+	}
+	ix := &hashIndex{
+		cols:    cols,
+		buckets: make(map[string][]int32, len(r.Tuples)),
+	}
+	buf := make([]byte, 0, 8*len(cols))
+	for i, t := range r.Tuples {
+		if err := g.poll(i); err != nil {
+			return nil, err
+		}
+		buf = appendTupleKey(buf[:0], t, cols)
+		ix.buckets[string(buf)] = append(ix.buckets[string(buf)], int32(i))
+	}
+	return ix, nil
+}
+
+// probe returns the positions of the indexed tuples matching the key in
+// buf (nil when none). The lookup does not retain buf.
+func (ix *hashIndex) probe(buf []byte) []int32 {
+	return ix.buckets[string(buf)]
+}
+
+// dedupFast removes duplicate tuples in place preserving first-occurrence
+// order, like Relation.Dedup but with byte keys instead of fmt-formatted
+// strings.
+func dedupFast(r *Relation, g *guard) (*Relation, error) {
+	cols := identity(len(r.Attrs))
+	seen := make(map[string]struct{}, len(r.Tuples))
+	buf := make([]byte, 0, 8*len(cols))
+	out := r.Tuples[:0]
+	for i, t := range r.Tuples {
+		if err := g.poll(i); err != nil {
+			return nil, err
+		}
+		buf = appendTupleKey(buf[:0], t, cols)
+		if _, dup := seen[string(buf)]; !dup {
+			seen[string(buf)] = struct{}{}
+			out = append(out, t)
+		}
+	}
+	r.Tuples = out
+	return r, nil
+}
+
+// projectFast is Relation.Project with byte-key deduplication and guard
+// polling; first-occurrence order is preserved, like the legacy path.
+func projectFast(r *Relation, attrs []string, g *guard) (*Relation, error) {
+	idx, err := r.attrIndex(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(attrs...)
+	seen := make(map[string]struct{}, len(r.Tuples))
+	buf := make([]byte, 0, 8*len(idx))
+	for i, t := range r.Tuples {
+		if err := g.poll(i); err != nil {
+			return nil, err
+		}
+		buf = appendTupleKey(buf[:0], t, idx)
+		if _, dup := seen[string(buf)]; dup {
+			continue
+		}
+		seen[string(buf)] = struct{}{}
+		row := make([]int, len(idx))
+		for j, c := range idx {
+			row[j] = t[c]
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+	return out, nil
+}

@@ -142,20 +142,13 @@ func (r *Relation) Semijoin(s *Relation) (*Relation, error) {
 	return out, nil
 }
 
-// Join returns the natural join r ⋈ s.
-func (r *Relation) Join(s *Relation) (*Relation, error) {
-	shared := sharedAttrs(r, s)
-	rIdx, err := r.attrIndex(shared)
-	if err != nil {
-		return nil, err
-	}
-	sIdx, err := s.attrIndex(shared)
-	if err != nil {
-		return nil, err
-	}
-	// Output schema: r's attrs followed by s's non-shared attrs.
-	sExtra := make([]int, 0, len(s.Attrs))
-	outAttrs := append([]string(nil), r.Attrs...)
+// joinSchema derives a natural join's output schema: r's attrs followed
+// by s's non-shared attrs, with sExtra holding the positions of those
+// extra columns in s. Both kernels share it — the byte-identity
+// guarantee between them depends on identical schema construction.
+func joinSchema(r, s *Relation, shared []string) (outAttrs []string, sExtra []int) {
+	sExtra = make([]int, 0, len(s.Attrs))
+	outAttrs = append([]string(nil), r.Attrs...)
 	for j, a := range s.Attrs {
 		isShared := false
 		for _, b := range shared {
@@ -169,6 +162,21 @@ func (r *Relation) Join(s *Relation) (*Relation, error) {
 			sExtra = append(sExtra, j)
 		}
 	}
+	return outAttrs, sExtra
+}
+
+// Join returns the natural join r ⋈ s.
+func (r *Relation) Join(s *Relation) (*Relation, error) {
+	shared := sharedAttrs(r, s)
+	rIdx, err := r.attrIndex(shared)
+	if err != nil {
+		return nil, err
+	}
+	sIdx, err := s.attrIndex(shared)
+	if err != nil {
+		return nil, err
+	}
+	outAttrs, sExtra := joinSchema(r, s, shared)
 	out := NewRelation(outAttrs...)
 	// Hash join on the shared key.
 	buckets := map[string][][]int{}

@@ -18,17 +18,36 @@ type bagNode struct {
 // per-query row budget.
 var ErrRowBudget = errors.New("join: row budget exceeded")
 
-// EvalOptions bounds one evaluation. The zero value means no limits.
+// EvalOptions configures one evaluation. The zero value means the
+// indexed kernel, serial, with no limits.
 type EvalOptions struct {
 	// MaxRows caps the size of every intermediate and final relation;
 	// exceeding it aborts the evaluation with ErrRowBudget. 0 = no cap.
+	// The indexed kernel additionally enforces the cap inside join probe
+	// loops, so a single exploding operation aborts at the budget.
 	MaxRows int
+	// Kernel selects the relational kernel: KernelIndexed (default,
+	// build-once hash indexes) or KernelScan (the legacy slice-scan
+	// baseline).
+	Kernel Kernel
+	// Parallelism caps concurrent executor workers, including the
+	// calling goroutine (KernelIndexed only): sibling subtrees of the
+	// three Yannakakis passes, bag builds, and large final-join probe
+	// loops run on the pool. ≤ 1 means serial.
+	Parallelism int
+	// Tokens, when set, gates every spawned worker on a shared budget
+	// (e.g. the decomposition service's) so query execution and solver
+	// parallelism never oversubscribe the host together. A spawn that
+	// gets no token runs inline instead — tokens throttle, never block.
+	Tokens TokenSource
+	// Stats, when non-nil, receives the executor's effort counters.
+	Stats *ExecStats
 }
 
 // guard is checked after every relational operation of a budgeted
-// evaluation: context cancellation and the row cap both abort the
-// query between operations, so a runaway join cannot pin a serving
-// goroutine past its deadline. A nil guard checks nothing.
+// evaluation — and, in the indexed kernel, inside long probe loops via
+// poll — so a runaway join cannot pin a serving goroutine past its
+// deadline. A nil guard checks nothing.
 type guard struct {
 	ctx     context.Context
 	maxRows int
@@ -41,11 +60,29 @@ func (g *guard) check(r *Relation) error {
 	if err := g.ctx.Err(); err != nil {
 		return err
 	}
-	if g.maxRows > 0 && r.Size() > g.maxRows {
+	return g.checkRows(r.Size())
+}
+
+// checkRows enforces the row budget against a running row count.
+func (g *guard) checkRows(n int) error {
+	if g == nil {
+		return nil
+	}
+	if g.maxRows > 0 && n > g.maxRows {
 		return fmt.Errorf("%w: intermediate result has %d rows, budget is %d",
-			ErrRowBudget, r.Size(), g.maxRows)
+			ErrRowBudget, n, g.maxRows)
 	}
 	return nil
+}
+
+// poll is the in-loop cancellation check: iteration counters pass
+// through it and every pollEvery-th one (plus the first) consults the
+// context, keeping huge scans responsive at negligible cost.
+func (g *guard) poll(i int) error {
+	if g == nil || i&(pollEvery-1) != 0 {
+		return nil
+	}
+	return g.ctx.Err()
 }
 
 // BuildJoinTree materialises the join tree of query q over database db
@@ -64,25 +101,9 @@ func BuildJoinTree(q Query, db Database, d *decomp.Decomp) (*bagNode, error) {
 
 func buildJoinTree(q Query, db Database, d *decomp.Decomp, g *guard) (*bagNode, error) {
 	h := d.H
-	if h.NumEdges() != len(q.Atoms) {
-		return nil, fmt.Errorf("join: decomposition hypergraph has %d edges, query has %d atoms",
-			h.NumEdges(), len(q.Atoms))
-	}
-	// Assign each atom to one covering node.
-	coverOf := map[*decomp.Node][]int{}
-	for e := range q.Atoms {
-		var host *decomp.Node
-		d.Root.Walk(func(n *decomp.Node) bool {
-			if h.Edge(e).SubsetOf(n.Bag) {
-				host = n
-				return false
-			}
-			return true
-		})
-		if host == nil {
-			return nil, fmt.Errorf("join: atom %d not covered by any bag (invalid HD?)", e)
-		}
-		coverOf[host] = append(coverOf[host], e)
+	coverOf, err := assignAtomCovers(q, d)
+	if err != nil {
+		return nil, err
 	}
 
 	var build func(n *decomp.Node) (*bagNode, error)
@@ -141,6 +162,36 @@ func buildJoinTree(q Query, db Database, d *decomp.Decomp, g *guard) (*bagNode, 
 		return bn, nil
 	}
 	return build(d.Root)
+}
+
+// assignAtomCovers validates the decomposition against the query and
+// maps each decomposition node to the atoms it must enforce: every atom
+// is assigned to the first node (in Walk order) whose bag covers it (HD
+// condition 1 guarantees one exists). Both kernels share this plan
+// shaping — identical host selection is part of what keeps their
+// outputs byte-identical.
+func assignAtomCovers(q Query, d *decomp.Decomp) (map[*decomp.Node][]int, error) {
+	h := d.H
+	if h.NumEdges() != len(q.Atoms) {
+		return nil, fmt.Errorf("join: decomposition hypergraph has %d edges, query has %d atoms",
+			h.NumEdges(), len(q.Atoms))
+	}
+	coverOf := map[*decomp.Node][]int{}
+	for e := range q.Atoms {
+		var host *decomp.Node
+		d.Root.Walk(func(n *decomp.Node) bool {
+			if h.Edge(e).SubsetOf(n.Bag) {
+				host = n
+				return false
+			}
+			return true
+		})
+		if host == nil {
+			return nil, fmt.Errorf("join: atom %d not covered by any bag (invalid HD?)", e)
+		}
+		coverOf[host] = append(coverOf[host], e)
+	}
+	return coverOf, nil
 }
 
 // Yannakakis runs the classic three-pass algorithm on a join tree:
@@ -218,27 +269,31 @@ func yannakakis(root *bagNode, g *guard) (*Relation, error) {
 }
 
 // Evaluate answers the full conjunctive query using the decomposition:
-// join tree materialisation followed by Yannakakis. The result is the
-// set of all satisfying assignments to the query's variables.
+// join tree materialisation followed by Yannakakis, on the indexed
+// kernel. The result is the set of all satisfying assignments to the
+// query's variables.
 func Evaluate(q Query, db Database, d *decomp.Decomp) (*Relation, error) {
-	tree, err := BuildJoinTree(q, db, d)
-	if err != nil {
-		return nil, err
-	}
-	return Yannakakis(tree)
+	return EvaluateCtx(context.Background(), q, db, d, EvalOptions{})
 }
 
-// EvaluateCtx is Evaluate under a context and per-query limits: the
-// evaluation is aborted between relational operations when the context
-// is cancelled (deadline = the query's time budget) or when any
+// EvaluateCtx is Evaluate under a context, per-query limits, and an
+// executor configuration: the evaluation is aborted when the context is
+// cancelled (deadline = the query's time budget) or when any
 // intermediate or final relation exceeds opts.MaxRows (ErrRowBudget).
+// The default indexed kernel checks both inside its probe loops; the
+// legacy scan kernel (opts.Kernel = KernelScan) only between relational
+// operations. Both kernels produce byte-identical rows, at any
+// parallelism.
 func EvaluateCtx(ctx context.Context, q Query, db Database, d *decomp.Decomp, opts EvalOptions) (*Relation, error) {
-	g := &guard{ctx: ctx, maxRows: opts.MaxRows}
-	tree, err := buildJoinTree(q, db, d, g)
-	if err != nil {
-		return nil, err
+	if opts.Kernel == KernelScan {
+		g := &guard{ctx: ctx, maxRows: opts.MaxRows}
+		tree, err := buildJoinTree(q, db, d, g)
+		if err != nil {
+			return nil, err
+		}
+		return yannakakis(tree, g)
 	}
-	return yannakakis(tree, g)
+	return evaluateIndexed(ctx, q, db, d, opts)
 }
 
 // IsBoolean reports whether the query has at least one answer, with

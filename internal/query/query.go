@@ -3,8 +3,10 @@
 // obtains a minimum-width hypertree decomposition through the
 // decomposition service (read-through to the cross-request store: a
 // repeat query is a plan-cache hit that runs no solver), and executes
-// Yannakakis' algorithm over the bags under a per-query row budget and
-// context cancellation.
+// Yannakakis' algorithm over the bags on the hash-indexed kernel —
+// optionally in parallel, sibling subtrees running on workers leased
+// from the service's shared token budget — under a per-query row budget
+// and context cancellation.
 //
 // The pipeline composes every prior subsystem: internal/join supplies
 // the relational engine, internal/service the managed solvers, and
@@ -44,6 +46,13 @@ type Request struct {
 	// Timeout bounds the whole query — planning and execution. 0 = no
 	// per-query deadline (the service's default still caps the solve).
 	Timeout time.Duration
+	// Parallelism caps the executor's concurrent workers (including the
+	// query's own goroutine): sibling subtrees of the Yannakakis passes
+	// and large final-join probe loops run on the pool, with every
+	// spawned worker drawing a token from the service's shared budget so
+	// query execution and decomposition jobs never oversubscribe the
+	// host together. 0 or 1 = serial indexed execution; < 0 is invalid.
+	Parallelism int
 	// Workers caps the solver's parallelism for cold plans (0 = service
 	// default).
 	Workers int
@@ -68,6 +77,11 @@ type Result struct {
 	// decomposition (or cache lookup) and the Yannakakis execution.
 	PlanElapsed time.Duration
 	ExecElapsed time.Duration
+	// Parallelism is the executor worker cap the query ran with (≥ 1).
+	Parallelism int
+	// Exec reports the executor's per-query effort: indexes built,
+	// tuples probed, and how much of the work ran on spawned workers.
+	Exec join.ExecStats
 }
 
 // Stats is a snapshot of planner-wide counters.
@@ -79,6 +93,13 @@ type Stats struct {
 	PlanFailures  int64 // planning errors (no plan in bound, solve errors)
 	ExecFailures  int64 // execution errors (row budget, cancellation)
 	RowsReturned  int64 // total answer tuples across all queries
+
+	// Executor counters, aggregated over all answered queries.
+	ExecParallelQueries int64 // queries executed with Parallelism > 1
+	ExecIndexBuilds     int64 // hash indexes built
+	ExecIndexProbes     int64 // tuples probed against an index
+	ExecParallelTasks   int64 // subtree/partition tasks run on spawned workers
+	ExecInlineTasks     int64 // tasks run inline on the scheduling worker
 }
 
 // Planner answers conjunctive queries through a decomposition service.
@@ -93,6 +114,12 @@ type Planner struct {
 	planFailures  atomic.Int64
 	execFailures  atomic.Int64
 	rowsReturned  atomic.Int64
+
+	execParallelQueries atomic.Int64
+	execIndexBuilds     atomic.Int64
+	execIndexProbes     atomic.Int64
+	execParallelTasks   atomic.Int64
+	execInlineTasks     atomic.Int64
 }
 
 // NewPlanner returns a Planner executing queries over svc.
@@ -154,8 +181,32 @@ func (p *Planner) Eval(ctx context.Context, req Request) (Result, error) {
 		p.planCoalesced.Add(1)
 	}
 
+	// Execute on the indexed kernel. Spawned executor workers lease
+	// tokens from the same budget the solvers draw on, so a burst of
+	// parallel queries and a burst of cold decompositions share the
+	// host instead of fighting over it.
+	par := req.Parallelism
+	if par < 1 {
+		par = 1
+	}
 	execStart := time.Now()
-	rel, err := join.EvaluateCtx(ctx, req.Query, req.DB, res.Decomp, join.EvalOptions{MaxRows: req.MaxRows})
+	var exec join.ExecStats
+	rel, err := join.EvaluateCtx(ctx, req.Query, req.DB, res.Decomp, join.EvalOptions{
+		MaxRows:     req.MaxRows,
+		Parallelism: par,
+		Tokens:      p.svc.Budget(),
+		Stats:       &exec,
+	})
+	// The executor fills exec even on failure; aggregate before the
+	// error check so aborted queries — often the most expensive ones the
+	// server ran — still show their effort in /stats.
+	if par > 1 {
+		p.execParallelQueries.Add(1)
+	}
+	p.execIndexBuilds.Add(exec.IndexBuilds)
+	p.execIndexProbes.Add(exec.IndexProbes)
+	p.execParallelTasks.Add(exec.ParallelTasks)
+	p.execInlineTasks.Add(exec.InlineTasks)
 	if err != nil {
 		p.execFailures.Add(1)
 		return Result{}, fmt.Errorf("query: execution failed: %w", err)
@@ -174,6 +225,8 @@ func (p *Planner) Eval(ctx context.Context, req Request) (Result, error) {
 		PlanCoalesced: res.Coalesced,
 		PlanElapsed:   planElapsed,
 		ExecElapsed:   time.Since(execStart),
+		Parallelism:   par,
+		Exec:          exec,
 	}, nil
 }
 
@@ -186,6 +239,9 @@ func validate(req Request) error {
 	}
 	if req.MaxRows < 0 {
 		return errors.New("query: MaxRows must be >= 0")
+	}
+	if req.Parallelism < 0 {
+		return errors.New("query: Parallelism must be >= 0")
 	}
 	for i, a := range req.Query.Atoms {
 		rel, ok := req.DB[a.Relation]
@@ -219,12 +275,17 @@ func Canonical(rel *join.Relation) (*join.Relation, error) {
 // Stats returns a snapshot of the planner counters.
 func (p *Planner) Stats() Stats {
 	return Stats{
-		Queries:       p.queries.Load(),
-		Answered:      p.answered.Load(),
-		PlanCacheHits: p.planCacheHits.Load(),
-		PlanCoalesced: p.planCoalesced.Load(),
-		PlanFailures:  p.planFailures.Load(),
-		ExecFailures:  p.execFailures.Load(),
-		RowsReturned:  p.rowsReturned.Load(),
+		Queries:             p.queries.Load(),
+		Answered:            p.answered.Load(),
+		PlanCacheHits:       p.planCacheHits.Load(),
+		PlanCoalesced:       p.planCoalesced.Load(),
+		PlanFailures:        p.planFailures.Load(),
+		ExecFailures:        p.execFailures.Load(),
+		RowsReturned:        p.rowsReturned.Load(),
+		ExecParallelQueries: p.execParallelQueries.Load(),
+		ExecIndexBuilds:     p.execIndexBuilds.Load(),
+		ExecIndexProbes:     p.execIndexProbes.Load(),
+		ExecParallelTasks:   p.execParallelTasks.Load(),
+		ExecInlineTasks:     p.execInlineTasks.Load(),
 	}
 }

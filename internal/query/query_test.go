@@ -68,7 +68,11 @@ func TestDifferentialRandomQueries(t *testing.T) {
 				return
 			}
 
-			res, err := p.Eval(ctx, Request{Query: q, DB: db})
+			// Even seeds execute serially, odd seeds on the parallel
+			// indexed executor; the repeat below flips the mode, so every
+			// seed also checks parallel and serial answers byte-equal.
+			par := seed % 2 * 4
+			res, err := p.Eval(ctx, Request{Query: q, DB: db, Parallelism: par})
 			if err != nil {
 				errs <- err
 				return
@@ -86,16 +90,18 @@ func TestDifferentialRandomQueries(t *testing.T) {
 				t.Errorf("seed %d: implausible plan width %d for %d atoms", seed, res.Width, len(q.Atoms))
 			}
 
-			// The identical query again: same rows, and the plan must come
-			// from the cache (or a concurrent structurally identical query's
-			// run) — never a fresh solve of an already-solved structure.
-			again, err := p.Eval(ctx, Request{Query: q, DB: db})
+			// The identical query again — in the opposite execution mode:
+			// same rows, and the plan must come from the cache (or a
+			// concurrent structurally identical query's run) — never a
+			// fresh solve of an already-solved structure.
+			again, err := p.Eval(ctx, Request{Query: q, DB: db, Parallelism: 4 - par})
 			if err != nil {
 				errs <- err
 				return
 			}
 			if !reflect.DeepEqual(again.Rows.Tuples, res.Rows.Tuples) {
-				t.Errorf("seed %d: repeat query returned different rows", seed)
+				t.Errorf("seed %d: repeat query (parallelism %d vs %d) returned different rows",
+					seed, 4-par, par)
 			}
 			if !again.PlanCacheHit && !again.PlanCoalesced {
 				t.Errorf("seed %d: repeat query neither hit the plan cache nor coalesced", seed)
@@ -114,6 +120,13 @@ func TestDifferentialRandomQueries(t *testing.T) {
 	}
 	if st.PlanCacheHits+st.PlanCoalesced < queries {
 		t.Fatalf("at least the %d repeats must reuse plans: %+v", queries, st)
+	}
+	// Every seed ran exactly one of its two evaluations in parallel mode.
+	if st.ExecParallelQueries != queries {
+		t.Fatalf("ExecParallelQueries = %d, want %d", st.ExecParallelQueries, queries)
+	}
+	if st.ExecIndexBuilds == 0 || st.ExecIndexProbes == 0 {
+		t.Fatalf("executor counters not aggregated: %+v", st)
 	}
 	sst := svc.Stats()
 	if sst.SolverRuns > int64(queries) {
