@@ -3,13 +3,13 @@
 # the nightly workflow additionally runs `make fuzz-long`).
 
 GO ?= go
-# Benchmark artifact produced by `make bench` and uploaded by CI; bump
-# per PR so artifacts stay comparable across the perf trajectory.
-BENCH_JSON ?= BENCH_PR5.json
+# Benchmark artifact produced by `make bench-agg` and uploaded by CI;
+# bump per PR so artifacts stay comparable across the perf trajectory.
+BENCH_JSON ?= BENCH_PR6.json
 # Committed baseline the bench-regression gate compares against.
 BENCH_BASELINE ?= BENCH_PR4.json
 
-.PHONY: all build fmt fmt-check vet lint test race bench bench-exec bench-gate stress differential fuzz fuzz-long serve ci
+.PHONY: all build fmt fmt-check vet lint test race bench bench-exec bench-agg bench-gate stress differential fuzz fuzz-long docs-check serve ci
 
 all: build
 
@@ -43,12 +43,19 @@ race:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
-	$(GO) run ./cmd/benchtab -experiment exec -benchjson $(BENCH_JSON) -quiet
+	$(GO) run ./cmd/benchtab -experiment agg -benchjson $(BENCH_JSON) -quiet
 
-# The PR's executor benchmark: serial slice-scan vs indexed vs parallel
-# indexed Yannakakis over identical plans (writes $(BENCH_JSON)).
+# The previous PR's executor benchmark: serial slice-scan vs indexed vs
+# parallel indexed Yannakakis over identical plans (writes its own
+# fixed artifact so the exec trajectory stays comparable).
 bench-exec:
-	$(GO) run ./cmd/benchtab -experiment exec -benchjson $(BENCH_JSON) -quiet
+	$(GO) run ./cmd/benchtab -experiment exec -benchjson BENCH_PR5.json -quiet
+
+# This PR's benchmark: aggregate pushdown vs materialise-then-fold on
+# high-output star queries, including the differential wall and the
+# row-budget flip inside the experiment (writes $(BENCH_JSON)).
+bench-agg:
+	$(GO) run ./cmd/benchtab -experiment agg -benchjson $(BENCH_JSON) -quiet
 
 # The bench-regression gate CI runs on every PR: a fresh query
 # experiment must not regress the warm-plan suite >25% against the
@@ -74,7 +81,12 @@ fuzz-long:
 	$(GO) test -run=NONE -fuzz=FuzzDecomposeCheckHD -fuzztime=5m .
 	$(GO) test -run=NONE -fuzz=FuzzParseQuery -fuzztime=5m ./internal/join
 
+# Fails on broken intra-repo links (and missing anchors) in committed
+# Markdown files; mirrors the CI docs job.
+docs-check:
+	$(GO) run ./cmd/docscheck .
+
 serve:
 	$(GO) run ./cmd/htdserve
 
-ci: fmt-check vet lint build race bench bench-gate stress differential fuzz
+ci: fmt-check vet lint build race bench bench-gate stress differential fuzz docs-check

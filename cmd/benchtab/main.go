@@ -9,7 +9,7 @@
 //	benchtab -experiment figure3 -csv scatter.csv
 //
 // Experiments: table1 table2 table3 table4 table5 figure1 figure3
-// ablation depth ghd race store query exec all
+// ablation depth ghd race store query exec agg all
 //
 // The race experiment compares the serial k = 1..kmax width ladder
 // against the optimal-width racing service pipeline; the store
@@ -18,7 +18,9 @@
 // the end-to-end conjunctive-query pipeline (Yannakakis over
 // store-cached decompositions) with cold-plan vs warm-plan traffic;
 // the exec experiment races the three executor kernels (legacy
-// slice-scan, hash-indexed, parallel indexed) over identical plans.
+// slice-scan, hash-indexed, parallel indexed) over identical plans;
+// the agg experiment compares aggregate pushdown against
+// materialise-then-fold on high-output star queries (BENCH_PR6.json).
 // With -benchjson any of them writes its measurements as a JSON
 // benchmark artifact (BENCH_PR5.json in CI) so the perf trajectory is
 // tracked across PRs.
@@ -178,6 +180,12 @@ func main() {
 				return err
 			}
 			fmt.Print(tab.Render())
+		case "agg":
+			tab, err := aggExperiment(ctx, cfg, *benchJSON)
+			if err != nil {
+				return err
+			}
+			fmt.Print(tab.Render())
 		case "depth":
 			fmt.Print(harness.DepthExperiment(ctx, []int{16, 32, 64, 128, 256, 512}).Render())
 		case "ghd":
@@ -203,7 +211,7 @@ func main() {
 	names := []string{*experiment}
 	if *experiment == "all" {
 		names = []string{"table1", "table2", "table3", "table4", "table5",
-			"figure1", "figure3", "ablation", "depth", "ghd", "race", "store", "query", "exec"}
+			"figure1", "figure3", "ablation", "depth", "ghd", "race", "store", "query", "exec", "agg"}
 	}
 	for _, n := range names {
 		if err := run(strings.TrimSpace(n)); err != nil {

@@ -328,6 +328,13 @@ type queryAPIRequest struct {
 	// OmitRows asks for counts and plan metadata only — the answer rows
 	// are computed but not serialised (cheap for large results).
 	OmitRows bool `json:"omit_rows,omitempty"`
+	// Aggregate, when non-empty, answers this aggregate head instead of
+	// returning rows ("count", "sum(x)", "group x: count distinct(y)"
+	// — see docs/QUERY_FORMAT.md). The aggregate is pushed down the join
+	// tree, so max_rows then bounds the group count, not the answer
+	// count: queries whose row form would exceed the budget still
+	// aggregate cheaply.
+	Aggregate string `json:"aggregate,omitempty"`
 }
 
 // queryAPIResponse is the JSON result of one query.
@@ -350,11 +357,28 @@ type queryAPIResponse struct {
 	// carries the executor's effort counters for this query.
 	Parallelism int            `json:"parallelism,omitempty"`
 	Exec        *execStatsWire `json:"exec,omitempty"`
-	Error       string         `json:"error,omitempty"`
-	TimedOut    bool           `json:"timed_out,omitempty"`
+	// Aggregate is the answer of an aggregate request; rows are never
+	// serialised for aggregates (RowCount stays 0).
+	Aggregate *aggWire `json:"aggregate,omitempty"`
+	Error     string   `json:"error,omitempty"`
+	TimedOut  bool     `json:"timed_out,omitempty"`
 
 	// err keeps the underlying error for status-code mapping.
 	err error
+}
+
+// aggWire is the JSON shape of an aggregate answer: the canonical spec
+// echoed back, group columns/rows in sorted order, and the scalar value
+// when the spec has no GROUP BY.
+type aggWire struct {
+	Spec       string   `json:"spec"`
+	GroupVars  []string `json:"group_vars,omitempty"`
+	Groups     [][]int  `json:"groups,omitempty"`
+	Values     []int64  `json:"values"`
+	GroupCount int      `json:"group_count"`
+	// Value is the scalar answer of a no-GROUP-BY aggregate; absent for
+	// grouped aggregates and for MIN/MAX over an empty answer set.
+	Value *int64 `json:"value,omitempty"`
 }
 
 // execStatsWire is the JSON shape of one query's executor counters.
@@ -388,6 +412,14 @@ func (s *server) runQuery(ctx context.Context, a queryAPIRequest) *queryAPIRespo
 	if err != nil {
 		return &queryAPIResponse{Error: "parse database: " + err.Error(), err: errBadRequest}
 	}
+	var spec *htd.AggregateSpec
+	if strings.TrimSpace(a.Aggregate) != "" {
+		parsed, err := htd.ParseAggregate(a.Aggregate)
+		if err != nil {
+			return &queryAPIResponse{Error: "parse aggregate: " + err.Error(), err: errBadRequest}
+		}
+		spec = &parsed
+	}
 	res, err := s.planner.Eval(ctx, htd.QueryRequest{
 		Query:       q,
 		DB:          db,
@@ -396,6 +428,7 @@ func (s *server) runQuery(ctx context.Context, a queryAPIRequest) *queryAPIRespo
 		Timeout:     time.Duration(a.TimeoutMS) * time.Millisecond,
 		Parallelism: a.Parallelism,
 		Workers:     a.Workers,
+		Aggregate:   spec,
 	})
 	if err != nil {
 		resp := &queryAPIResponse{Error: err.Error(), err: err}
@@ -417,7 +450,6 @@ func (s *server) runQuery(ctx context.Context, a queryAPIRequest) *queryAPIRespo
 	}
 	resp := &queryAPIResponse{
 		OK:            true,
-		RowCount:      res.Rows.Size(),
 		Width:         res.Width,
 		PlanCacheHit:  res.PlanCacheHit,
 		PlanCoalesced: res.PlanCoalesced,
@@ -434,6 +466,20 @@ func (s *server) runQuery(ctx context.Context, a queryAPIRequest) *queryAPIRespo
 			MaxWorkers:    res.Exec.MaxWorkers,
 		},
 	}
+	if res.Agg != nil {
+		resp.Aggregate = &aggWire{
+			Spec:       htd.FormatAggregate(*spec),
+			GroupVars:  res.Agg.GroupVars,
+			Groups:     res.Agg.Groups,
+			Values:     res.Agg.Values,
+			GroupCount: len(res.Agg.Groups),
+		}
+		if v, ok := res.Agg.Value(); ok {
+			resp.Aggregate.Value = &v
+		}
+		return resp
+	}
+	resp.RowCount = res.Rows.Size()
 	if !a.OmitRows {
 		resp.Vars = res.Rows.Attrs
 		resp.Rows = res.Rows.Tuples

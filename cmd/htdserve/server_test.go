@@ -678,3 +678,106 @@ func TestServeQueryBatch(t *testing.T) {
 		t.Fatalf("SolverRuns = %d, want <= 2 for 2 distinct query structures", runs)
 	}
 }
+
+// TestServeQueryAggregate pins the /query aggregate contract: an
+// "aggregate" head returns the aggregate and no rows, a query whose row
+// form blows max_rows still aggregates under the same budget, grouped
+// heads come back in canonical order, aggregates flow through
+// /querybatch, and malformed heads are 400s.
+func TestServeQueryAggregate(t *testing.T) {
+	ts, svc := newTestServer(t)
+
+	// Scalar count on the triangle fixture (2 answers).
+	_, out, raw := postQuery(t, ts.URL+"/query",
+		strings.TrimSuffix(triangleQueryBody, "}")+`,"aggregate":"count"}`)
+	if !out.OK || out.Aggregate == nil {
+		t.Fatalf("aggregate count: %+v (%s)", out, raw)
+	}
+	if out.Aggregate.Value == nil || *out.Aggregate.Value != 2 || out.Aggregate.Spec != "count" {
+		t.Fatalf("aggregate answer: %+v", out.Aggregate)
+	}
+	if out.Rows != nil || out.RowCount != 0 {
+		t.Fatalf("aggregate response must carry no rows: %+v", out)
+	}
+
+	// The aggregate shares the row query's plan structure: a repeat is a
+	// plan-cache hit and runs no extra solver.
+	runsBefore := svc.Stats().SolverRuns
+	_, again, _ := postQuery(t, ts.URL+"/query",
+		strings.TrimSuffix(triangleQueryBody, "}")+`,"aggregate":"count"}`)
+	if !again.OK || !again.PlanCacheHit {
+		t.Fatalf("aggregate repeat must hit the plan cache: %+v", again)
+	}
+	if runs := svc.Stats().SolverRuns; runs != runsBefore {
+		t.Fatalf("aggregate repeat ran a solver: %d -> %d", runsBefore, runs)
+	}
+
+	// A cross-product query under a row budget: the row form fails, the
+	// aggregate form answers (the ErrRowBudget-to-feature flip).
+	crossDB := func() string {
+		var r, s strings.Builder
+		for i := 0; i < 30; i++ {
+			fmt.Fprintf(&r, "%d 0\\n", i)
+			fmt.Fprintf(&s, "0 %d\\n", i)
+		}
+		return `"database":"rel R(c1,c2)\n` + r.String() + `end\nrel S(c1,c2)\n` + s.String() + `end\n"`
+	}()
+	rowBody := `{"query":"R(x,y), S(y,z).",` + crossDB + `,"max_rows":50}`
+	resp, rows, _ := postQuery(t, ts.URL+"/query", rowBody)
+	if resp.StatusCode != http.StatusOK || rows.OK || !strings.Contains(rows.Error, "row budget") {
+		t.Fatalf("row form under budget: status=%d %+v", resp.StatusCode, rows)
+	}
+	_, agg, _ := postQuery(t, ts.URL+"/query",
+		strings.TrimSuffix(rowBody, "}")+`,"aggregate":"count"}`)
+	if !agg.OK || agg.Aggregate == nil || agg.Aggregate.Value == nil || *agg.Aggregate.Value != 900 {
+		t.Fatalf("aggregate under the same budget: %+v", agg.Aggregate)
+	}
+
+	// Grouped head: canonical group columns and sorted groups.
+	_, grouped, _ := postQuery(t, ts.URL+"/query",
+		strings.TrimSuffix(triangleQueryBody, "}")+`,"aggregate":"group x: count"}`)
+	if !grouped.OK || grouped.Aggregate == nil {
+		t.Fatalf("grouped aggregate: %+v", grouped)
+	}
+	ga := grouped.Aggregate
+	if !reflect.DeepEqual(ga.GroupVars, []string{"x"}) ||
+		!reflect.DeepEqual(ga.Groups, [][]int{{1}, {4}}) ||
+		!reflect.DeepEqual(ga.Values, []int64{1, 1}) ||
+		ga.GroupCount != 2 || ga.Value != nil {
+		t.Fatalf("grouped answer: %+v", ga)
+	}
+
+	// Aggregates through /querybatch.
+	aggLine := strings.TrimSuffix(triangleQueryBody, "}") + `,"aggregate":"max(z)"}`
+	bresp, err := http.Post(ts.URL+"/querybatch", "application/x-ndjson",
+		strings.NewReader(aggLine+"\n"+triangleQueryBody+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	var results []queryAPIResponse
+	sc := bufio.NewScanner(bresp.Body)
+	for sc.Scan() {
+		var r queryAPIResponse
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	if len(results) != 2 || !results[0].OK || results[0].Aggregate == nil ||
+		results[0].Aggregate.Value == nil || *results[0].Aggregate.Value != 7 {
+		t.Fatalf("batch aggregate line: %+v", results)
+	}
+	if !results[1].OK || results[1].RowCount != 2 || results[1].Aggregate != nil {
+		t.Fatalf("batch row line: %+v", results[1])
+	}
+
+	// Malformed or invalid aggregate heads are the client's fault.
+	for _, head := range []string{"tally", "sum(unknown)", "group w: count", "sum(x,y)"} {
+		resp, _, raw := postQuery(t, ts.URL+"/query",
+			strings.TrimSuffix(triangleQueryBody, "}")+`,"aggregate":"`+head+`"}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("aggregate %q: status %d, want 400 (%s)", head, resp.StatusCode, raw)
+		}
+	}
+}

@@ -309,6 +309,47 @@ type QueryExecStats = join.ExecStats
 // NewQueryPlanner returns a planner executing queries over svc.
 func NewQueryPlanner(svc *Service) *QueryPlanner { return query.NewPlanner(svc) }
 
+// AggregateSpec is one aggregate head over a conjunctive query's
+// answers: COUNT, COUNT DISTINCT over a projection, or SUM/MIN/MAX of
+// one variable — each optionally per GROUP BY group. Set
+// QueryRequest.Aggregate to answer the aggregate by pushdown over the
+// join tree instead of materialising rows.
+type AggregateSpec = join.AggSpec
+
+// AggregateKind selects the aggregate operation of an AggregateSpec.
+type AggregateKind = join.AggKind
+
+// Aggregate kinds.
+const (
+	AggCount         = join.AggCount
+	AggCountDistinct = join.AggCountDistinct
+	AggSum           = join.AggSum
+	AggMin           = join.AggMin
+	AggMax           = join.AggMax
+)
+
+// AggregateResult is one answered aggregate in canonical form: group
+// columns in sorted variable order, group rows sorted, values parallel
+// to the groups. Value() returns the scalar answer of a no-GROUP-BY
+// spec.
+type AggregateResult = join.AggResult
+
+// ParseAggregate reads an aggregate head: "count",
+// "count distinct(x,y)", "sum(x)", "min(x)", "max(x)", each optionally
+// prefixed "group g1,g2:". See docs/QUERY_FORMAT.md.
+func ParseAggregate(src string) (AggregateSpec, error) { return join.ParseAggregate(src) }
+
+// FormatAggregate renders an aggregate head in the syntax
+// ParseAggregate reads.
+func FormatAggregate(spec AggregateSpec) string { return join.FormatAggregate(spec) }
+
+// AggregateRows folds an already-materialised full-query result — the
+// definitional (and naive) semantics the pushdown engine reproduces
+// without materialisation.
+func AggregateRows(rel *Relation, spec AggregateSpec) (AggregateResult, error) {
+	return join.AggregateRows(rel, spec)
+}
+
 // EvalQuery answers one conjunctive query end to end over svc — the
 // paper's §1 motivating application as a single call: hash the query's
 // hypergraph, fetch or compute a minimum-width decomposition through

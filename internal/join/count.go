@@ -1,81 +1,35 @@
 package join
 
 import (
+	"context"
+
 	"repro/internal/decomp"
 )
 
 // Count returns the number of answers of the full conjunctive query
 // without materialising them, by dynamic programming over the join tree
-// of the decomposition: after the bottom-up semijoin reduction, each bag
-// tuple's extension count is the product over children of the summed
-// counts of joining child tuples. This is the tractable counting the
-// paper cites as an HD application (Pichler & Skritek [23]): time is
-// polynomial in the size of the bag relations, hence in N^width.
+// of the decomposition: after the semijoin reduction, each bag tuple's
+// extension count is the product over children of the summed counts of
+// joining child tuples. This is the tractable counting the paper cites
+// as an HD application (Pichler & Skritek [23]): time is polynomial in
+// the size of the bag relations, hence in N^width.
+//
+// Count is the scalar-COUNT special case of the aggregate pushdown
+// engine (see AggregateCtx) and runs on the same budgeted indexed
+// kernel.
 func Count(q Query, db Database, d *decomp.Decomp) (int64, error) {
-	tree, err := BuildJoinTree(q, db, d)
-	if err != nil {
-		return 0, err
-	}
-	// Bottom-up semijoin reduction so every remaining tuple extends to
-	// at least one full answer downward.
-	var reduce func(n *bagNode) error
-	reduce = func(n *bagNode) error {
-		for _, c := range n.children {
-			if err := reduce(c); err != nil {
-				return err
-			}
-			red, err := n.rel.Semijoin(c.rel)
-			if err != nil {
-				return err
-			}
-			n.rel = red
-		}
-		return nil
-	}
-	if err := reduce(tree); err != nil {
-		return 0, err
-	}
+	return CountCtx(context.Background(), q, db, d, EvalOptions{})
+}
 
-	// extensions(n) returns, per tuple of n.rel, how many distinct
-	// assignments to the variables of T_n extend it.
-	var extensions func(n *bagNode) ([]int64, error)
-	extensions = func(n *bagNode) ([]int64, error) {
-		counts := make([]int64, n.rel.Size())
-		for i := range counts {
-			counts[i] = 1
-		}
-		for _, c := range n.children {
-			childCounts, err := extensions(c)
-			if err != nil {
-				return nil, err
-			}
-			shared := sharedAttrs(c.rel, n.rel)
-			cIdx, err := c.rel.attrIndex(shared)
-			if err != nil {
-				return nil, err
-			}
-			nIdx, err := n.rel.attrIndex(shared)
-			if err != nil {
-				return nil, err
-			}
-			// Sum child extension counts per join key.
-			sums := make(map[string]int64, c.rel.Size())
-			for j, t := range c.rel.Tuples {
-				sums[keyOf(t, cIdx)] += childCounts[j]
-			}
-			for i, t := range n.rel.Tuples {
-				counts[i] *= sums[keyOf(t, nIdx)]
-			}
-		}
-		return counts, nil
-	}
-	counts, err := extensions(tree)
+// CountCtx is Count under a context and per-query limits: the reduction
+// passes and the counting DP honour ctx cancellation, opts.MaxRows and
+// the shared token budget exactly like EvaluateCtx. opts.Kernel is
+// ignored; counting always runs on the indexed executor.
+func CountCtx(ctx context.Context, q Query, db Database, d *decomp.Decomp, opts EvalOptions) (int64, error) {
+	res, err := AggregateCtx(ctx, q, db, d, AggSpec{Kind: AggCount}, opts)
 	if err != nil {
 		return 0, err
 	}
-	var total int64
-	for _, c := range counts {
-		total += c
-	}
-	return total, nil
+	n, _ := res.Value()
+	return n, nil
 }

@@ -35,6 +35,12 @@ func FuzzParseQuery(f *testing.F) {
 	f.Add("query R(x).\nrel R(a)\n1\nrel nested(b)\nend\n")
 	f.Add("rel R(a)\n1\nend\n")
 	f.Add("query R(x.\n")
+	f.Add("query R(x,y).\naggregate count\nrel R(a,b)\n1 2\nend\n")
+	f.Add("query R(x,y), S(y,z).\naggregate group x: count distinct(z)\n")
+	f.Add("query R(x,y).\naggregate sum(y)\n")
+	f.Add("query R(x,y).\naggregate group y,x: max(x)\nrel R(a,b)\nend\n")
+	f.Add("query R(x).\naggregate min(q)\n")
+	f.Add("query R(x).\naggregate count\naggregate count\n")
 
 	f.Fuzz(func(t *testing.T, src string) {
 		doc, err := ParseDocument(src)
@@ -60,6 +66,14 @@ func FuzzParseQuery(f *testing.F) {
 		}
 		if !reflect.DeepEqual(doc.Query, doc2.Query) {
 			t.Fatalf("query changed across round trip:\n%+v\nvs\n%+v", doc.Query, doc2.Query)
+		}
+		if !reflect.DeepEqual(doc.Aggregate, doc2.Aggregate) {
+			t.Fatalf("aggregate changed across round trip:\n%+v\nvs\n%+v", doc.Aggregate, doc2.Aggregate)
+		}
+		if doc.Aggregate != nil {
+			if err := doc.Aggregate.Validate(doc.Query); err != nil {
+				t.Fatalf("accepted aggregate fails validation: %v\n%s", err, src)
+			}
 		}
 		if len(doc.DB) != len(doc2.DB) {
 			t.Fatalf("database changed across round trip: %d vs %d relations", len(doc.DB), len(doc2.DB))

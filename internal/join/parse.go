@@ -93,6 +93,132 @@ func checkName(name string) error {
 	return nil
 }
 
+// ParseAggregate reads an aggregate head in the syntax:
+//
+//	count
+//	count distinct(x,y)
+//	sum(x) | min(x) | max(x)
+//	group g1,g2: <any of the above>
+//
+// Variables referenced by an aggregate head additionally may not
+// contain ':' (the group separator); this is stricter than the atom
+// grammar, which keeps the head unambiguous and parse → format → parse
+// the identity.
+func ParseAggregate(src string) (AggSpec, error) {
+	var spec AggSpec
+	s := strings.TrimSpace(src)
+	if strings.HasPrefix(s, "group") {
+		rest, ok := keywordRest(s, "group")
+		if !ok {
+			return AggSpec{}, fmt.Errorf("join: malformed aggregate group clause %q", s)
+		}
+		colon := strings.IndexByte(rest, ':')
+		if colon < 0 {
+			return AggSpec{}, fmt.Errorf("join: aggregate group clause %q is missing ':'", s)
+		}
+		vars, err := aggVarList(rest[:colon], "group by")
+		if err != nil {
+			return AggSpec{}, err
+		}
+		spec.GroupBy = vars
+		s = strings.TrimSpace(rest[colon+1:])
+	}
+	switch {
+	case s == "count":
+		spec.Kind = AggCount
+	case strings.HasPrefix(s, "count"):
+		rest, ok := keywordRest(s, "count")
+		if !ok || !strings.HasPrefix(rest, "distinct") {
+			return AggSpec{}, fmt.Errorf("join: unknown aggregate head %q", s)
+		}
+		inner, err := aggParens(rest, "distinct")
+		if err != nil {
+			return AggSpec{}, err
+		}
+		vars, err := aggVarList(inner, "count distinct")
+		if err != nil {
+			return AggSpec{}, err
+		}
+		spec.Kind, spec.Over = AggCountDistinct, vars
+	case strings.HasPrefix(s, "sum"), strings.HasPrefix(s, "min"), strings.HasPrefix(s, "max"):
+		kw := s[:3]
+		inner, err := aggParens(s, kw)
+		if err != nil {
+			return AggSpec{}, err
+		}
+		vars, err := aggVarList(inner, kw)
+		if err != nil {
+			return AggSpec{}, err
+		}
+		if len(vars) != 1 {
+			return AggSpec{}, fmt.Errorf("join: %s takes exactly one variable, got %d", kw, len(vars))
+		}
+		switch kw {
+		case "sum":
+			spec.Kind = AggSum
+		case "min":
+			spec.Kind = AggMin
+		case "max":
+			spec.Kind = AggMax
+		}
+		spec.Var = vars[0]
+	default:
+		return AggSpec{}, fmt.Errorf("join: unknown aggregate head %q", s)
+	}
+	return spec, nil
+}
+
+// aggParens extracts the parenthesised operand list of "kw ( ... )",
+// requiring the ')' to close the head.
+func aggParens(s, kw string) (string, error) {
+	rest := strings.TrimSpace(s[strings.Index(s, kw)+len(kw):])
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return "", fmt.Errorf("join: aggregate %s needs a parenthesised variable list, got %q", kw, s)
+	}
+	return rest[1 : len(rest)-1], nil
+}
+
+// aggVarList parses a comma-separated variable list of an aggregate
+// head, enforcing the head's stricter name rule (no ':').
+func aggVarList(s, what string) ([]string, error) {
+	var vars []string
+	for _, v := range strings.Split(s, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			return nil, fmt.Errorf("join: empty variable in aggregate %s list", what)
+		}
+		if err := checkName(v); err != nil {
+			return nil, fmt.Errorf("join: aggregate %s variable %q: %w", what, v, err)
+		}
+		if strings.ContainsRune(v, ':') {
+			return nil, fmt.Errorf("join: aggregate %s variable %q: contains forbidden character ':'", what, v)
+		}
+		vars = append(vars, v)
+	}
+	return vars, nil
+}
+
+// FormatAggregate renders an aggregate head in the syntax ParseAggregate
+// reads. GroupBy order is preserved (the canonical result nonetheless
+// sorts group columns — see AggResult).
+func FormatAggregate(spec AggSpec) string {
+	var b strings.Builder
+	if len(spec.GroupBy) > 0 {
+		b.WriteString("group ")
+		b.WriteString(strings.Join(spec.GroupBy, ","))
+		b.WriteString(": ")
+	}
+	switch spec.Kind {
+	case AggCount:
+		b.WriteString("count")
+	case AggCountDistinct:
+		fmt.Fprintf(&b, "count distinct(%s)", strings.Join(spec.Over, ","))
+	case AggSum, AggMin, AggMax:
+		fmt.Fprintf(&b, "%s(%s)", spec.Kind, spec.Var)
+	}
+	return b.String()
+}
+
 // FormatQuery renders a query in the syntax ParseQuery reads:
 // comma-separated atoms, terminated by a period.
 func FormatQuery(q Query) string {
@@ -125,12 +251,16 @@ func FormatQuery(q Query) string {
 //	end
 //	...
 //
-// One `query` line (ParseQuery syntax) and any number of `rel` blocks:
-// a header naming the relation and its columns, one whitespace-separated
-// integer tuple per line, closed by `end`.
+// One `query` line (ParseQuery syntax), an optional `aggregate` line
+// (ParseAggregate syntax, e.g. `aggregate group x: count`), and any
+// number of `rel` blocks: a header naming the relation and its columns,
+// one whitespace-separated integer tuple per line, closed by `end`.
 type Document struct {
 	Query Query
-	DB    Database
+	// Aggregate, when non-nil, asks for this aggregate over the query's
+	// answers instead of the rows themselves.
+	Aggregate *AggSpec
+	DB        Database
 }
 
 // ParseDocument reads a query+database document. The format round-trips
@@ -143,6 +273,11 @@ func ParseDocument(src string) (Document, error) {
 	}
 	if len(doc.Query.Atoms) == 0 {
 		return Document{}, fmt.Errorf("join: document has no query line")
+	}
+	if doc.Aggregate != nil {
+		if err := doc.Aggregate.Validate(doc.Query); err != nil {
+			return Document{}, err
+		}
 	}
 	return doc, nil
 }
@@ -180,6 +315,19 @@ func parseDoc(src string, allowQuery bool) (Document, error) {
 			}
 			doc.Query = q
 			sawQuery = true
+		case allowQuery && strings.HasPrefix(line, "aggregate"):
+			rest, ok := keywordRest(line, "aggregate")
+			if !ok {
+				return Document{}, fmt.Errorf("join: line %d: malformed aggregate line", i+1)
+			}
+			if doc.Aggregate != nil {
+				return Document{}, fmt.Errorf("join: line %d: duplicate aggregate line", i+1)
+			}
+			spec, err := ParseAggregate(rest)
+			if err != nil {
+				return Document{}, fmt.Errorf("join: line %d: %w", i+1, err)
+			}
+			doc.Aggregate = &spec
 		case strings.HasPrefix(line, "rel"):
 			rest, ok := keywordRest(line, "rel")
 			if !ok {
@@ -285,6 +433,11 @@ func FormatDocument(doc Document) string {
 	b.WriteString("query ")
 	b.WriteString(FormatQuery(doc.Query))
 	b.WriteByte('\n')
+	if doc.Aggregate != nil {
+		b.WriteString("aggregate ")
+		b.WriteString(FormatAggregate(*doc.Aggregate))
+		b.WriteByte('\n')
+	}
 	names := make([]string, 0, len(doc.DB))
 	for name := range doc.DB {
 		names = append(names, name)

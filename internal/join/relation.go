@@ -1,10 +1,3 @@
-// Package join is a small in-memory relational engine supporting
-// conjunctive query evaluation through hypertree decompositions: bag
-// materialisation, the three semijoin/join passes of Yannakakis'
-// algorithm [26], and a naive join baseline for cross-checking. It is
-// the substrate for the paper's motivating application (§1): CQs whose
-// hypergraphs have bounded hypertree width evaluate in polynomial time
-// by reduction to an acyclic instance.
 package join
 
 import (

@@ -1,18 +1,3 @@
-// Package query answers conjunctive queries end to end — the paper's §1
-// motivating application. A Planner turns a CQ into its hypergraph,
-// obtains a minimum-width hypertree decomposition through the
-// decomposition service (read-through to the cross-request store: a
-// repeat query is a plan-cache hit that runs no solver), and executes
-// Yannakakis' algorithm over the bags on the hash-indexed kernel —
-// optionally in parallel, sibling subtrees running on workers leased
-// from the service's shared token budget — under a per-query row budget
-// and context cancellation.
-//
-// The pipeline composes every prior subsystem: internal/join supplies
-// the relational engine, internal/service the managed solvers, and
-// internal/store the content-addressed plan cache keyed by the query
-// hypergraph's structure — structurally identical queries (same atom
-// shapes, any relation names) share one cached plan.
 package query
 
 import (
@@ -56,6 +41,12 @@ type Request struct {
 	// Workers caps the solver's parallelism for cold plans (0 = service
 	// default).
 	Workers int
+	// Aggregate, when non-nil, answers this aggregate over the query's
+	// result set instead of the rows themselves, pushed down the join
+	// tree: no answer row is ever materialised, so queries whose result
+	// set would blow MaxRows still aggregate cheaply. The plan (and the
+	// plan cache entry) is the same one a row query uses.
+	Aggregate *join.AggSpec
 }
 
 // Result is the outcome of one answered query.
@@ -63,8 +54,11 @@ type Result struct {
 	// Rows is the full answer relation in canonical form: attributes in
 	// sorted variable order, tuples in sorted order. Canonical form makes
 	// repeat answers byte-identical regardless of which plan produced
-	// them.
+	// them. Nil for aggregate requests.
 	Rows *join.Relation
+	// Agg is the aggregate answer of an aggregate request (canonical:
+	// group columns and rows sorted); nil for row requests.
+	Agg *join.AggResult
 	// Width is the hypertree width of the plan that was executed.
 	Width int
 	// PlanCacheHit reports that the decomposition came from the store's
@@ -92,7 +86,9 @@ type Stats struct {
 	PlanCoalesced int64 // plans shared with a concurrent identical query
 	PlanFailures  int64 // planning errors (no plan in bound, solve errors)
 	ExecFailures  int64 // execution errors (row budget, cancellation)
-	RowsReturned  int64 // total answer tuples across all queries
+	RowsReturned  int64 // total answer tuples across all row queries
+	AggQueries    int64 // answered aggregate (row-free) queries
+	AggGroups     int64 // total groups returned across aggregate queries
 
 	// Executor counters, aggregated over all answered queries.
 	ExecParallelQueries int64 // queries executed with Parallelism > 1
@@ -114,6 +110,8 @@ type Planner struct {
 	planFailures  atomic.Int64
 	execFailures  atomic.Int64
 	rowsReturned  atomic.Int64
+	aggQueries    atomic.Int64
+	aggGroups     atomic.Int64
 
 	execParallelQueries atomic.Int64
 	execIndexBuilds     atomic.Int64
@@ -191,12 +189,23 @@ func (p *Planner) Eval(ctx context.Context, req Request) (Result, error) {
 	}
 	execStart := time.Now()
 	var exec join.ExecStats
-	rel, err := join.EvaluateCtx(ctx, req.Query, req.DB, res.Decomp, join.EvalOptions{
+	opts := join.EvalOptions{
 		MaxRows:     req.MaxRows,
 		Parallelism: par,
 		Tokens:      p.svc.Budget(),
 		Stats:       &exec,
-	})
+	}
+	var rel *join.Relation
+	var agg join.AggResult
+	if req.Aggregate != nil {
+		// Aggregate pushdown: the same plan, the same budgeted kernel,
+		// but per-bag partial aggregates instead of a materialised result
+		// — MaxRows then bounds the number of groups, not the (possibly
+		// enormous) number of answers.
+		agg, err = join.AggregateCtx(ctx, req.Query, req.DB, res.Decomp, *req.Aggregate, opts)
+	} else {
+		rel, err = join.EvaluateCtx(ctx, req.Query, req.DB, res.Decomp, opts)
+	}
 	// The executor fills exec even on failure; aggregate before the
 	// error check so aborted queries — often the most expensive ones the
 	// server ran — still show their effort in /stats.
@@ -210,6 +219,21 @@ func (p *Planner) Eval(ctx context.Context, req Request) (Result, error) {
 	if err != nil {
 		p.execFailures.Add(1)
 		return Result{}, fmt.Errorf("query: execution failed: %w", err)
+	}
+	if req.Aggregate != nil {
+		p.answered.Add(1)
+		p.aggQueries.Add(1)
+		p.aggGroups.Add(int64(len(agg.Groups)))
+		return Result{
+			Agg:           &agg,
+			Width:         res.Decomp.Width(),
+			PlanCacheHit:  res.CacheHit,
+			PlanCoalesced: res.Coalesced,
+			PlanElapsed:   planElapsed,
+			ExecElapsed:   time.Since(execStart),
+			Parallelism:   par,
+			Exec:          exec,
+		}, nil
 	}
 	rows, err := Canonical(rel)
 	if err != nil {
@@ -253,6 +277,11 @@ func validate(req Request) error {
 				i, a.Relation, len(a.Vars), len(rel.Attrs))
 		}
 	}
+	if req.Aggregate != nil {
+		if err := req.Aggregate.Validate(req.Query); err != nil {
+			return fmt.Errorf("query: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -282,6 +311,8 @@ func (p *Planner) Stats() Stats {
 		PlanFailures:        p.planFailures.Load(),
 		ExecFailures:        p.execFailures.Load(),
 		RowsReturned:        p.rowsReturned.Load(),
+		AggQueries:          p.aggQueries.Load(),
+		AggGroups:           p.aggGroups.Load(),
 		ExecParallelQueries: p.execParallelQueries.Load(),
 		ExecIndexBuilds:     p.execIndexBuilds.Load(),
 		ExecIndexProbes:     p.execIndexProbes.Load(),

@@ -134,6 +134,157 @@ func TestDifferentialRandomQueries(t *testing.T) {
 	}
 }
 
+// aggSweep is the operator matrix the aggregate differential wall
+// sweeps per instance: every kind, scalar and grouped.
+func aggSweep(q join.Query) []join.AggSpec {
+	vars := map[string]bool{}
+	var order []string
+	for _, a := range q.Atoms {
+		for _, v := range a.Vars {
+			if !vars[v] {
+				vars[v] = true
+				order = append(order, v)
+			}
+		}
+	}
+	first, last := order[0], order[len(order)-1]
+	return []join.AggSpec{
+		{Kind: join.AggCount},
+		{Kind: join.AggCountDistinct, Over: []string{first}},
+		{Kind: join.AggSum, Var: last},
+		{Kind: join.AggMin, Var: first},
+		{Kind: join.AggMax, Var: last, GroupBy: []string{first}},
+		{Kind: join.AggCount, GroupBy: []string{last}},
+		{Kind: join.AggCountDistinct, Over: []string{last}, GroupBy: []string{first}},
+	}
+}
+
+// TestDifferentialAggregates is the aggregate wall: on the same 50
+// seeded random instances as the row wall, every pushdown aggregate
+// answered through the planner must exactly equal the naive
+// materialise-then-fold of the independently computed cross-join
+// baseline — serial and parallel (seeds alternate, and each spec runs
+// in both modes via the repeat), with the repeat required to reuse the
+// plan.
+func TestDifferentialAggregates(t *testing.T) {
+	const queries = 50
+	p, svc := newTestPlanner(t)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, queries)
+	sem := make(chan struct{}, 8)
+	for seed := 0; seed < queries; seed++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			r := rand.New(rand.NewSource(int64(seed)))
+			q, db := RandomInstance(r, GenConfig{})
+			rows, err := naiveCanonical(q, db)
+			if err != nil {
+				errs <- err
+				return
+			}
+			par := seed % 2 * 4
+			for _, spec := range aggSweep(q) {
+				want, err := join.AggregateRows(rows, spec)
+				if err != nil {
+					errs <- fmt.Errorf("seed %d %s: naive fold: %w", seed, join.FormatAggregate(spec), err)
+					return
+				}
+				res, err := p.Eval(ctx, Request{Query: q, DB: db, Parallelism: par, Aggregate: &spec})
+				if err != nil {
+					errs <- fmt.Errorf("seed %d %s: %w", seed, join.FormatAggregate(spec), err)
+					return
+				}
+				if res.Rows != nil {
+					t.Errorf("seed %d %s: aggregate result carries rows", seed, join.FormatAggregate(spec))
+					return
+				}
+				if res.Agg == nil || !reflect.DeepEqual(*res.Agg, want) {
+					t.Errorf("seed %d %s: pushdown %+v, naive %+v\nquery: %s",
+						seed, join.FormatAggregate(spec), res.Agg, want, join.FormatQuery(q))
+					return
+				}
+				// The opposite execution mode must agree byte for byte and
+				// reuse the plan the first run banked.
+				again, err := p.Eval(ctx, Request{Query: q, DB: db, Parallelism: 4 - par, Aggregate: &spec})
+				if err != nil {
+					errs <- fmt.Errorf("seed %d %s repeat: %w", seed, join.FormatAggregate(spec), err)
+					return
+				}
+				if !reflect.DeepEqual(again.Agg, res.Agg) {
+					t.Errorf("seed %d %s: parallel and serial aggregates disagree", seed, join.FormatAggregate(spec))
+				}
+				if !again.PlanCacheHit && !again.PlanCoalesced {
+					t.Errorf("seed %d %s: aggregate repeat did not reuse the plan", seed, join.FormatAggregate(spec))
+				}
+			}
+		}(seed)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := p.Stats()
+	if st.AggQueries != st.Answered || st.Answered == 0 {
+		t.Fatalf("aggregate query counters: %+v", st)
+	}
+	sst := svc.Stats()
+	if sst.SolverRuns > queries {
+		t.Fatalf("%d solver runs for %d distinct structures: aggregates not sharing plans", sst.SolverRuns, queries)
+	}
+}
+
+// TestEvalAggregatePlanShared: a row query and an aggregate over the
+// same query share one cached plan, and the aggregate answers a query
+// whose row form blows the row budget.
+func TestEvalAggregatePlanShared(t *testing.T) {
+	p, svc := newTestPlanner(t)
+	q, err := join.ParseQuery("R(x,y), S(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, s := join.NewRelation("a", "b"), join.NewRelation("a", "b")
+	for i := 0; i < 30; i++ {
+		r.Add(i, 0)
+		s.Add(0, i)
+	}
+	db := join.Database{"R": r, "S": s}
+
+	// Row form: 900 answers, budget 50 → ErrRowBudget. (The budget still
+	// covers intermediates, so it must stay above the 30-row bags.)
+	if _, err := p.Eval(context.Background(), Request{Query: q, DB: db, MaxRows: 50}); !errors.Is(err, join.ErrRowBudget) {
+		t.Fatalf("row query: got %v, want ErrRowBudget", err)
+	}
+	// Aggregate form under the same budget: the count comes back.
+	spec := join.AggSpec{Kind: join.AggCount}
+	res, err := p.Eval(context.Background(), Request{Query: q, DB: db, MaxRows: 50, Aggregate: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := res.Agg.Value(); !ok || v != 900 {
+		t.Fatalf("aggregate count = %d (ok=%v), want 900", v, ok)
+	}
+	if !res.PlanCacheHit {
+		t.Fatal("aggregate did not reuse the row query's cached plan")
+	}
+	if runs := svc.Stats().SolverRuns; runs != 1 {
+		t.Fatalf("SolverRuns = %d, want 1 (row and aggregate share the plan)", runs)
+	}
+
+	// Invalid specs fail validation before planning.
+	bad := join.AggSpec{Kind: join.AggSum, Var: "nope"}
+	if _, err := p.Eval(context.Background(), Request{Query: q, DB: db, Aggregate: &bad}); err == nil {
+		t.Fatal("aggregate over unknown variable must fail")
+	}
+}
+
 // TestConcurrentIdenticalQueries: N submissions of one query race
 // through the planner; all must agree, and the service must run at most
 // one solver (coalescing or cache hits absorb the rest).

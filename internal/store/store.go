@@ -1,24 +1,3 @@
-// Package store is the unified cross-request state layer of the
-// decomposition service: one content-addressed record per hypergraph
-// (keyed by hypergraph.ContentHash) holding everything any request has
-// ever proven about that structure —
-//
-//   - width bounds: all widths < LB are refuted, an HD of width UB has
-//     been witnessed (the width-level knowledge formerly kept in the
-//     service's boundsStore);
-//   - a positive result cache: a portable witness decomposition (Tree)
-//     of width UB, so a repeat submission is answered with a validated
-//     HD instead of a fresh solver run;
-//   - per-width negative-memo tables: content keys of search states
-//     proven exhausted (formerly the service's memoStore), shared with
-//     the solvers through logk.MemoBackend.
-//
-// All of it sits behind the small pluggable Backend interface; the
-// in-memory implementation (Sharded) stripes entries over independently
-// locked shards with O(1) LRU eviction, and Snapshot gives any backend
-// versioned save/load so a serving process restarts warm. Request
-// coalescing (Flight) lives here too: N concurrent identical requests
-// run one solver and share the result.
 package store
 
 import (
