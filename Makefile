@@ -8,8 +8,10 @@ GO ?= go
 BENCH_JSON ?= BENCH_PR6.json
 # Committed baseline the bench-regression gate compares against.
 BENCH_BASELINE ?= BENCH_PR4.json
+# Load-wall report produced by `make load-gate` and uploaded nightly.
+LOAD_JSON ?= BENCH_PR7.json
 
-.PHONY: all build fmt fmt-check vet lint test race bench bench-exec bench-agg bench-gate stress differential fuzz fuzz-long docs-check serve ci
+.PHONY: all build fmt fmt-check vet lint test race bench bench-exec bench-agg bench-gate load-gate stress differential fuzz fuzz-long docs-check serve ci
 
 all: build
 
@@ -65,6 +67,14 @@ bench-gate:
 	$(GO) run ./cmd/benchtab -experiment query \
 		-benchjson /tmp/BENCH_query_fresh.json \
 		-compare $(BENCH_BASELINE) -tolerance 0.25 -calibrate query-cold -quiet
+
+# The live load wall (nightly CI): boots htdserve with the tenant wall
+# armed, drives a greedy tenant at 10x its rate limit beside a polite
+# tenant, and asserts the polite tenant's p99/error rate plus the
+# whole-server p99 envelope. Writes $(LOAD_JSON) with per-tenant
+# p50/p99/error-rate; LOAD_GATE_DURATION overrides the 10s run.
+load-gate:
+	./scripts/load_gate.sh $(LOAD_JSON)
 
 stress:
 	$(GO) test -race -count=2 -run 'TestStoreStress|TestCoalescing|TestBatchDuplicates|TestSnapshot|TestServeCache|TestShardedConcurrency|TestFlight' ./internal/store ./internal/service ./cmd/htdserve

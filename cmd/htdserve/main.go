@@ -8,6 +8,16 @@
 //
 //	htdserve -addr :8080 [-budget 8] [-max-concurrent 8] [-timeout 30s]
 //	         [-snapshot cache.json] [-store-shards 16]
+//	         [-tenant-rate 50] [-tenant-inflight 4] [-fair-share]
+//
+// Multi-tenant admission: every request may carry an X-Tenant header
+// (absent = the default tenant). The -tenant-* flags arm a per-tenant
+// load wall in front of the global admission control — token-bucket
+// rate limiting, an in-flight cap with a bounded FIFO queue — and
+// -fair-share lets unused per-tenant budget flow to a shared spare pool
+// so one tenant on an idle box still gets full throughput. Over-limit
+// calls get 429 with a Retry-After header; /stats reports per-tenant
+// counters and p50/p99 latency.
 //
 // Endpoints:
 //
@@ -56,6 +66,14 @@ func main() {
 		memoGraphs  = flag.Int("memo-graphs", 0, "hypergraphs cached in the store (0 = 32)")
 		memoEntry   = flag.Int("memo-entries", 0, "memoised states per (hypergraph, width) table (0 = 1<<20)")
 		snapshot    = flag.String("snapshot", "", "snapshot file: preloaded on boot, saved on graceful shutdown")
+
+		tenantRate     = flag.Float64("tenant-rate", 0, "per-tenant admissions per second (0 = unlimited)")
+		tenantBurst    = flag.Float64("tenant-burst", 0, "per-tenant burst size (0 = max(rate, 1))")
+		tenantInflight = flag.Int("tenant-inflight", 0, "per-tenant max jobs in flight (0 = unlimited)")
+		tenantQueue    = flag.Int("tenant-queue", 0, "per-tenant queue depth behind the in-flight cap (0 = none)")
+		fairShare      = flag.Bool("fair-share", true, "let unused per-tenant rate flow to a shared spare pool")
+		globalRate     = flag.Float64("global-rate", 0, "whole-server admissions per second feeding the fair-share pool (0 = sum of reserved rates only)")
+		maxBody        = flag.Int64("max-body", 0, "max bytes of one request body on single-shot endpoints (0 = 8 MiB)")
 	)
 	flag.Parse()
 
@@ -67,6 +85,14 @@ func main() {
 		StoreShards:    *storeShards,
 		MemoMaxGraphs:  *memoGraphs,
 		MemoMaxEntries: *memoEntry,
+		Tenants: htd.TenantConfig{
+			Rate:        *tenantRate,
+			Burst:       *tenantBurst,
+			MaxInFlight: *tenantInflight,
+			MaxQueue:    *tenantQueue,
+			FairShare:   *fairShare,
+			GlobalRate:  *globalRate,
+		},
 	}
 	svc := htd.NewService(cfg)
 	if *snapshot != "" {
@@ -90,19 +116,15 @@ func main() {
 		Addr: *addr,
 		// The batch limit mirrors the service's effective concurrency so
 		// /batch feeds it at full rate without tripping admission control.
-		Handler:           newHandler(svc, svc.Config().MaxConcurrent, *snapshot),
+		Handler:           newHandler(svc, svc.Config().MaxConcurrent, *snapshot, *maxBody),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "htdserve: listening on %s\n", *addr)
-
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	select {
-	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "htdserve: %v, draining\n", sig)
+	// shutdown is the single exit path: drain in-flight HTTP requests,
+	// close the service, and persist the snapshot. Both the signal arm
+	// and the listener-error arm run it, so a crashed listener saves the
+	// warm cache exactly like a graceful SIGTERM does.
+	shutdown := func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
@@ -118,9 +140,22 @@ func main() {
 					*snapshot, len(snap.Entries))
 			}
 		}
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "htdserve: listening on %s\n", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "htdserve: %v, draining\n", sig)
+		shutdown()
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "htdserve: %v\n", err)
+			shutdown()
 			os.Exit(1)
 		}
 	}

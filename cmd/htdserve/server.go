@@ -8,10 +8,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	htd "repro"
@@ -67,6 +69,10 @@ type apiResponse struct {
 	Stats       *htd.SolverStats `json:"stats,omitempty"`
 	Error       string           `json:"error,omitempty"`
 	TimedOut    bool             `json:"timed_out,omitempty"`
+	// RetryAfterMS carries the tenant wall's backoff hint on 429
+	// rejections (also sent as a Retry-After header on single-shot
+	// responses; batch lines only have this field).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 
 	// Optimal-mode fields: the proven lower bound (sound even on
 	// timeouts), where it came from ("probe", "memo", "trivial"), and
@@ -86,6 +92,55 @@ type apiResponse struct {
 // request itself was invalid.
 var errBadRequest = errors.New("bad request")
 
+// tenantID extracts the caller's tenant from the X-Tenant header. An
+// absent or blank header means the default tenant (mapped downstream).
+func tenantID(r *http.Request) (string, error) {
+	t := strings.TrimSpace(r.Header.Get("X-Tenant"))
+	if len(t) > maxTenantIDLen {
+		return "", fmt.Errorf("X-Tenant exceeds %d bytes", maxTenantIDLen)
+	}
+	return t, nil
+}
+
+// setRetryAfter adds the Retry-After header (whole seconds, rounded
+// up, minimum 1) for tenant-limited rejections, so compliant clients
+// back off by the bucket's actual deficit instead of guessing.
+func setRetryAfter(w http.ResponseWriter, err error) {
+	var le *htd.TenantLimitError
+	if !errors.As(err, &le) {
+		return
+	}
+	secs := int(math.Ceil(le.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// retryAfterMS mirrors the Retry-After hint into response bodies, the
+// only channel an NDJSON batch line has for it.
+func retryAfterMS(err error) int64 {
+	var le *htd.TenantLimitError
+	if !errors.As(err, &le) {
+		return 0
+	}
+	ms := le.RetryAfter.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// bodyErrStatus maps a request-body decode error to its status code:
+// 413 when the maxBody cap cut the read short, 400 otherwise.
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // server wires an htd.Service into HTTP handlers.
 type server struct {
 	svc *htd.Service
@@ -100,18 +155,35 @@ type server struct {
 	// snapshotPath is the default file for /cache/save and /cache/load
 	// (the -snapshot flag); requests may override it per call.
 	snapshotPath string
-	started      time.Time
+	// maxBody bounds every single-shot request body (decompose, query,
+	// cache file requests); one oversized POST must never balloon
+	// server memory. Batch bodies are streamed and bounded per line
+	// instead (maxBatchLine).
+	maxBody int64
+	started time.Time
 }
 
-func newHandler(svc *htd.Service, batchLimit int, snapshotPath string) http.Handler {
+// maxBatchLine bounds one NDJSON line of /batch and /querybatch.
+const maxBatchLine = 16 * 1024 * 1024
+
+// maxTenantIDLen bounds the X-Tenant header; ids are map keys in the
+// per-tenant stats, so a hostile header must not be able to make them
+// arbitrarily large.
+const maxTenantIDLen = 128
+
+func newHandler(svc *htd.Service, batchLimit int, snapshotPath string, maxBody int64) http.Handler {
 	if batchLimit < 1 {
 		batchLimit = 1
+	}
+	if maxBody <= 0 {
+		maxBody = 8 * 1024 * 1024
 	}
 	s := &server{
 		svc:          svc,
 		planner:      htd.NewQueryPlanner(svc),
 		batchLimit:   batchLimit,
 		snapshotPath: snapshotPath,
+		maxBody:      maxBody,
 		started:      time.Now(),
 	}
 	mux := http.NewServeMux()
@@ -173,11 +245,12 @@ func parseRequest(a apiRequest) (htd.ServiceRequest, error) {
 }
 
 // runJob submits one parsed request and shapes the result for the wire.
-func (s *server) runJob(ctx context.Context, a apiRequest) *apiResponse {
+func (s *server) runJob(ctx context.Context, a apiRequest, tenant string) *apiResponse {
 	req, err := parseRequest(a)
 	if err != nil {
 		return &apiResponse{Error: err.Error(), err: errBadRequest}
 	}
+	req.Tenant = tenant
 	res := s.svc.Submit(ctx, req)
 	resp := &apiResponse{
 		OK:              res.OK,
@@ -196,6 +269,7 @@ func (s *server) runJob(ctx context.Context, a apiRequest) *apiResponse {
 		resp.Error = res.Err.Error()
 		resp.err = res.Err
 		resp.TimedOut = errors.Is(res.Err, context.DeadlineExceeded)
+		resp.RetryAfterMS = retryAfterMS(res.Err)
 		return resp
 	}
 	if res.OK {
@@ -222,16 +296,25 @@ func toAPINode(d *htd.Decomposition, n *htd.Node) *apiNode {
 }
 
 func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
-	var a apiRequest
-	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+	tenant, err := tenantID(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	resp := s.runJob(r.Context(), a)
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	var a apiRequest
+	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+		httpError(w, bodyErrStatus(err), "invalid JSON: "+err.Error())
+		return
+	}
+	resp := s.runJob(r.Context(), a, tenant)
 	status := http.StatusOK
 	switch {
 	case errors.Is(resp.err, errBadRequest):
 		status = http.StatusBadRequest
+	case errors.Is(resp.err, htd.ErrTenantLimited):
+		status = http.StatusTooManyRequests
+		setRetryAfter(w, resp.err)
 	case errors.Is(resp.err, htd.ErrOverloaded):
 		status = http.StatusTooManyRequests
 	case errors.Is(resp.err, htd.ErrServiceClosed):
@@ -244,19 +327,43 @@ func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 // in input order, each line flushed as soon as its job finishes. At
 // most batchLimit jobs run at once; handle turns one line into one
 // response object.
+//
+// A failed response write marks the client dead: the scanner stops
+// accepting lines, so a disconnected batch client stops consuming
+// solver budget (already-running jobs finish and their results are
+// discarded). A read error ends the stream with a final NDJSON error
+// object — in particular a line beyond the maxBatchLine cap names
+// bufio.ErrTooLong, so clients can tell "input rejected" from
+// "connection died".
 func (s *server) streamNDJSON(w http.ResponseWriter, r *http.Request, handle func([]byte) any) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	// The stream writes responses while the request body is still being
+	// read; on HTTP/1.x that concurrency needs full-duplex mode, or the
+	// first flush blocks trying to drain a body the client is still
+	// sending. Writers that can't do it (HTTP/2 allows it natively) just
+	// keep their default behaviour.
+	http.NewResponseController(w).EnableFullDuplex()
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 
 	// pending preserves input order; the writer drains one result
 	// channel at a time while jobs run concurrently behind it.
+	var clientDead atomic.Bool
 	pending := make(chan chan any, s.batchLimit)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		for ch := range pending {
-			enc.Encode(<-ch)
+			v := <-ch
+			if clientDead.Load() {
+				// Keep draining so in-flight producers can finish, but
+				// stop encoding to a dead connection.
+				continue
+			}
+			if err := enc.Encode(v); err != nil {
+				clientDead.Store(true)
+				continue
+			}
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -265,8 +372,11 @@ func (s *server) streamNDJSON(w http.ResponseWriter, r *http.Request, handle fun
 
 	sem := make(chan struct{}, s.batchLimit)
 	scanner := bufio.NewScanner(r.Body)
-	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	scanner.Buffer(make([]byte, 0, 64*1024), maxBatchLine)
 	for scanner.Scan() {
+		if clientDead.Load() {
+			break
+		}
 		line := bytes.TrimSpace(scanner.Bytes())
 		if len(line) == 0 {
 			continue
@@ -281,22 +391,32 @@ func (s *server) streamNDJSON(w http.ResponseWriter, r *http.Request, handle fun
 	}
 	close(pending)
 	<-done
-	if err := scanner.Err(); err != nil {
-		// Too late for a status code; the truncated stream tells the
-		// client the batch did not complete.
-		return
+	if err := scanner.Err(); err != nil && !clientDead.Load() {
+		// Too late for a status code, but not for a final NDJSON error
+		// line telling the client why the batch ended early.
+		msg := "batch aborted: " + err.Error()
+		if errors.Is(err, bufio.ErrTooLong) {
+			msg = fmt.Sprintf("batch aborted: %v (one line exceeds the %d-byte batch line limit)",
+				bufio.ErrTooLong, maxBatchLine)
+		}
+		enc.Encode(map[string]any{"ok": false, "error": msg})
 	}
 }
 
 // handleBatch streams decomposition jobs: NDJSON apiRequest lines in,
 // apiResponse lines out, input order preserved.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tenant, err := tenantID(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	s.streamNDJSON(w, r, func(line []byte) any {
 		var a apiRequest
 		if err := json.Unmarshal(line, &a); err != nil {
 			return &apiResponse{Error: "invalid JSON: " + err.Error()}
 		}
-		return s.runJob(r.Context(), a)
+		return s.runJob(r.Context(), a, tenant)
 	})
 }
 
@@ -362,6 +482,9 @@ type queryAPIResponse struct {
 	Aggregate *aggWire `json:"aggregate,omitempty"`
 	Error     string   `json:"error,omitempty"`
 	TimedOut  bool     `json:"timed_out,omitempty"`
+	// RetryAfterMS carries the tenant wall's backoff hint on 429
+	// rejections (batch lines have no headers, so the body carries it).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 
 	// err keeps the underlying error for status-code mapping.
 	err error
@@ -394,7 +517,7 @@ type execStatsWire struct {
 
 // runQuery answers one parsed query request and shapes the result for
 // the wire.
-func (s *server) runQuery(ctx context.Context, a queryAPIRequest) *queryAPIResponse {
+func (s *server) runQuery(ctx context.Context, a queryAPIRequest, tenant string) *queryAPIResponse {
 	if strings.TrimSpace(a.Query) == "" {
 		return &queryAPIResponse{Error: "missing \"query\"", err: errBadRequest}
 	}
@@ -429,15 +552,18 @@ func (s *server) runQuery(ctx context.Context, a queryAPIRequest) *queryAPIRespo
 		Parallelism: a.Parallelism,
 		Workers:     a.Workers,
 		Aggregate:   spec,
+		Tenant:      tenant,
 	})
 	if err != nil {
 		resp := &queryAPIResponse{Error: err.Error(), err: err}
 		resp.TimedOut = errors.Is(err, context.DeadlineExceeded)
+		resp.RetryAfterMS = retryAfterMS(err)
 		switch {
 		case errors.Is(err, htd.ErrNoQueryPlan),
 			errors.Is(err, htd.ErrRowBudget),
 			errors.Is(err, context.DeadlineExceeded),
 			errors.Is(err, context.Canceled),
+			errors.Is(err, htd.ErrTenantLimited),
 			errors.Is(err, htd.ErrOverloaded),
 			errors.Is(err, htd.ErrServiceClosed):
 			// Definitive or operational failures keep their own mapping.
@@ -491,6 +617,8 @@ func (s *server) queryStatus(resp *queryAPIResponse) int {
 	switch {
 	case errors.Is(resp.err, errBadRequest):
 		return http.StatusBadRequest
+	case errors.Is(resp.err, htd.ErrTenantLimited):
+		return http.StatusTooManyRequests
 	case errors.Is(resp.err, htd.ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(resp.err, htd.ErrServiceClosed):
@@ -500,12 +628,21 @@ func (s *server) queryStatus(resp *queryAPIResponse) int {
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var a queryAPIRequest
-	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+	tenant, err := tenantID(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	resp := s.runQuery(r.Context(), a)
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	var a queryAPIRequest
+	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+		httpError(w, bodyErrStatus(err), "invalid JSON: "+err.Error())
+		return
+	}
+	resp := s.runQuery(r.Context(), a, tenant)
+	if errors.Is(resp.err, htd.ErrTenantLimited) {
+		setRetryAfter(w, resp.err)
+	}
 	writeJSON(w, s.queryStatus(resp), resp)
 }
 
@@ -514,12 +651,17 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // inside one batch plan once: the first line's solve is coalesced with
 // or cached for the rest.
 func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	tenant, err := tenantID(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	s.streamNDJSON(w, r, func(line []byte) any {
 		var a queryAPIRequest
 		if err := json.Unmarshal(line, &a); err != nil {
 			return &queryAPIResponse{Error: "invalid JSON: " + err.Error()}
 		}
-		return s.runQuery(r.Context(), a)
+		return s.runQuery(r.Context(), a, tenant)
 	})
 }
 
@@ -532,10 +674,14 @@ type cacheFileRequest struct {
 // snapshotTarget resolves the snapshot file for a save/load request.
 // Per-request paths are confined to the directory of the -snapshot
 // flag: these are operational endpoints, and an HTTP body must never be
-// able to read or overwrite arbitrary files the server can reach.
-func (s *server) snapshotTarget(r *http.Request) (string, error) {
+// able to read or overwrite arbitrary files the server can reach. The
+// body is capped at maxBody (a path request has no business being
+// megabytes long); overflow surfaces as *http.MaxBytesError so callers
+// map it to 413.
+func (s *server) snapshotTarget(w http.ResponseWriter, r *http.Request) (string, error) {
 	var req cacheFileRequest
 	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 		// An empty body is fine; anything present must be valid JSON.
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
 			return "", fmt.Errorf("invalid JSON: %w", err)
@@ -587,9 +733,9 @@ func (s *server) handleCache(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleCacheSave(w http.ResponseWriter, r *http.Request) {
-	path, err := s.snapshotTarget(r)
+	path, err := s.snapshotTarget(w, r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpError(w, bodyErrStatus(err), err.Error())
 		return
 	}
 	snap := s.svc.Store().Export()
@@ -601,9 +747,9 @@ func (s *server) handleCacheSave(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleCacheLoad(w http.ResponseWriter, r *http.Request) {
-	path, err := s.snapshotTarget(r)
+	path, err := s.snapshotTarget(w, r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpError(w, bodyErrStatus(err), err.Error())
 		return
 	}
 	snap, err := htd.LoadSnapshotFile(path)

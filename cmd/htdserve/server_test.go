@@ -31,7 +31,7 @@ func newTestServerSnapshot(t *testing.T, snapshotPath string) (*httptest.Server,
 		MaxQueue:       64,
 		DefaultTimeout: 30 * time.Second,
 	})
-	ts := httptest.NewServer(newHandler(svc, 4, snapshotPath))
+	ts := httptest.NewServer(newHandler(svc, 4, snapshotPath, 0))
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Close()

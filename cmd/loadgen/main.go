@@ -1,0 +1,499 @@
+// Command loadgen drives a live htdserve with multi-tenant query
+// traffic and reports per-tenant latency quantiles and error rates —
+// the measurement half of the load wall. Each -tenant flag adds one
+// closed-loop-free traffic source (requests fire on a fixed schedule,
+// never waiting for earlier responses, so a slow server cannot hide
+// behind its own backpressure), with a hotkey or uniform query mix.
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8080 -duration 10s \
+//	        -tenant greedy:400:hotkey -tenant polite:10:uniform \
+//	        -out report.json
+//
+// Gate mode turns the report into an assertion (exit 1 on violation):
+//
+//	loadgen ... -gate-tenant polite -gate-p99-ms 250 \
+//	        -gate-error-rate 0.01 -gate-overall-p99-ms 500
+//
+// which is how `make load-gate` pins tenant isolation in CI: a greedy
+// tenant at 10x its rate limit must not push the polite tenant's p99
+// or error rate past the bound.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/join"
+	"repro/internal/query"
+)
+
+// tenantSpec is one -tenant flag: name, offered rate, and query mix.
+type tenantSpec struct {
+	Name string
+	QPS  float64
+	Mix  string // "uniform" or "hotkey"
+}
+
+// tenantFlags parses repeated -tenant name:qps[:mix] flags.
+type tenantFlags []tenantSpec
+
+func (t *tenantFlags) String() string {
+	parts := make([]string, len(*t))
+	for i, s := range *t {
+		parts[i] = fmt.Sprintf("%s:%g:%s", s.Name, s.QPS, s.Mix)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *tenantFlags) Set(v string) error {
+	spec, err := parseTenantSpec(v)
+	if err != nil {
+		return err
+	}
+	*t = append(*t, spec)
+	return nil
+}
+
+func parseTenantSpec(v string) (tenantSpec, error) {
+	parts := strings.Split(v, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return tenantSpec{}, fmt.Errorf("tenant %q: want name:qps[:mix]", v)
+	}
+	qps, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || qps <= 0 {
+		return tenantSpec{}, fmt.Errorf("tenant %q: qps must be a positive number", v)
+	}
+	mix := "uniform"
+	if len(parts) == 3 {
+		mix = parts[2]
+	}
+	if mix != "uniform" && mix != "hotkey" {
+		return tenantSpec{}, fmt.Errorf("tenant %q: mix must be uniform or hotkey", v)
+	}
+	if strings.TrimSpace(parts[0]) == "" {
+		return tenantSpec{}, fmt.Errorf("tenant %q: empty name", v)
+	}
+	return tenantSpec{Name: parts[0], QPS: qps, Mix: mix}, nil
+}
+
+// config is everything run needs; main fills it from flags so tests
+// can fill it directly.
+type config struct {
+	URL      string
+	Duration time.Duration
+	Tenants  []tenantSpec
+	Seed     int64
+	Timeout  time.Duration // per-request timeout
+	Wait     time.Duration // how long to poll /healthz before starting
+	PoolSize int           // distinct queries per workload pool
+}
+
+// TenantReport is the per-tenant section of the JSON report.
+type TenantReport struct {
+	Tenant    string  `json:"tenant"`
+	Mix       string  `json:"mix,omitempty"`
+	TargetQPS float64 `json:"target_qps,omitempty"`
+	Sent      int     `json:"sent"`
+	OK        int     `json:"ok"`
+	Rejected  int     `json:"rejected"` // 429s from the tenant wall
+	Errors    int     `json:"errors"`   // transport failures + non-200/429
+	// ErrorRate counts rejections as failures too: from the caller's
+	// seat a 429 is still a request that did not get an answer.
+	ErrorRate float64 `json:"error_rate"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MaxMS     float64 `json:"max_ms"`
+}
+
+// Report is the loadgen run artifact (BENCH_PR7.json in CI).
+type Report struct {
+	URL             string          `json:"url"`
+	DurationSeconds float64         `json:"duration_seconds"`
+	Tenants         []TenantReport  `json:"tenants"`
+	Overall         TenantReport    `json:"overall"`
+	ServerStats     json.RawMessage `json:"server_stats,omitempty"`
+}
+
+// sample is one finished request.
+type sample struct {
+	latency time.Duration
+	status  int  // 0 for transport errors
+	ok      bool // status 200
+}
+
+// workload is a pool of pre-rendered /query bodies plus a mix policy.
+type workload struct {
+	bodies [][]byte
+	hotkey bool
+}
+
+func (w *workload) pick(r *rand.Rand) []byte {
+	if w.hotkey && r.Float64() < 0.8 {
+		return w.bodies[0]
+	}
+	return w.bodies[r.Intn(len(w.bodies))]
+}
+
+// buildWorkload renders size distinct random conjunctive-query
+// instances as /query request bodies, deterministically from seed.
+func buildWorkload(seed int64, size int, hotkey bool) *workload {
+	r := rand.New(rand.NewSource(seed))
+	w := &workload{hotkey: hotkey}
+	for i := 0; i < size; i++ {
+		q, db := query.RandomInstance(r, query.GenConfig{})
+		body, err := json.Marshal(map[string]any{
+			"query":      join.FormatQuery(q),
+			"database":   formatRelations(db),
+			"timeout_ms": 5000,
+		})
+		if err != nil {
+			panic(err) // static shapes; cannot fail
+		}
+		w.bodies = append(w.bodies, body)
+	}
+	return w
+}
+
+// formatRelations renders a database as bare rel blocks — the format
+// the /query endpoint's "database" field reads.
+func formatRelations(db join.Database) string {
+	names := make([]string, 0, len(db))
+	for name := range db {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		rel := db[name]
+		fmt.Fprintf(&b, "rel %s(%s)\n", name, strings.Join(rel.Attrs, ","))
+		for _, t := range rel.Tuples {
+			for j, v := range t {
+				if j > 0 {
+					b.WriteByte(' ')
+				}
+				b.WriteString(strconv.Itoa(v))
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteString("end\n")
+	}
+	return b.String()
+}
+
+// driveTenant fires requests for one tenant on a fixed schedule for
+// cfg.Duration and returns every sample. Requests run in their own
+// goroutines so a slow response never delays the next send (open-loop
+// load), bounded only by a generous in-flight cap to protect the
+// generator itself.
+func driveTenant(cfg config, spec tenantSpec, w *workload, client *http.Client, seed int64) []sample {
+	interval := time.Duration(float64(time.Second) / spec.QPS)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	r := rand.New(rand.NewSource(seed))
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		wg      sync.WaitGroup
+	)
+	sem := make(chan struct{}, 256)
+	deadline := time.Now().Add(cfg.Duration)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for now := time.Now(); now.Before(deadline); now = <-ticker.C {
+		body := w.pick(r)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(body []byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s := fireQuery(cfg, spec.Name, body, client)
+			mu.Lock()
+			samples = append(samples, s)
+			mu.Unlock()
+		}(body)
+	}
+	wg.Wait()
+	return samples
+}
+
+func fireQuery(cfg config, tenant string, body []byte, client *http.Client) sample {
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.URL+"/query", bytes.NewReader(body))
+	if err != nil {
+		return sample{}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", tenant)
+	start := time.Now()
+	resp, err := client.Do(req)
+	lat := time.Since(start)
+	if err != nil {
+		return sample{latency: lat}
+	}
+	defer resp.Body.Close()
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	json.NewDecoder(resp.Body).Decode(&out)
+	return sample{
+		latency: lat,
+		status:  resp.StatusCode,
+		ok:      resp.StatusCode == http.StatusOK && out.OK,
+	}
+}
+
+// quantile returns the exact q-quantile of the given latencies
+// (nearest-rank); 0 when empty.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func summarize(name string, spec tenantSpec, samples []sample) TenantReport {
+	rep := TenantReport{Tenant: name, Mix: spec.Mix, TargetQPS: spec.QPS, Sent: len(samples)}
+	lats := make([]time.Duration, 0, len(samples))
+	for _, s := range samples {
+		switch {
+		case s.ok:
+			rep.OK++
+			// Only successful answers count toward latency quantiles:
+			// a rejection is fast by design and would flatter the tail.
+			lats = append(lats, s.latency)
+		case s.status == http.StatusTooManyRequests:
+			rep.Rejected++
+		default:
+			rep.Errors++
+		}
+	}
+	if rep.Sent > 0 {
+		rep.ErrorRate = float64(rep.Errors+rep.Rejected) / float64(rep.Sent)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.P50MS = float64(quantile(lats, 0.50)) / float64(time.Millisecond)
+	rep.P99MS = float64(quantile(lats, 0.99)) / float64(time.Millisecond)
+	if n := len(lats); n > 0 {
+		rep.MaxMS = float64(lats[n-1]) / float64(time.Millisecond)
+	}
+	return rep
+}
+
+// run executes the configured load against cfg.URL and builds the
+// report. It is the whole tool minus flag parsing and gate policy, so
+// tests can drive it against a stub server.
+func run(cfg config) (*Report, error) {
+	if len(cfg.Tenants) == 0 {
+		return nil, errors.New("no tenants configured (use -tenant name:qps[:mix])")
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 32
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: 256,
+		MaxConnsPerHost:     0,
+	}}
+
+	if cfg.Wait > 0 {
+		if err := waitHealthy(cfg.URL, client, cfg.Wait); err != nil {
+			return nil, err
+		}
+	}
+
+	type result struct {
+		spec    tenantSpec
+		samples []sample
+	}
+	results := make([]result, len(cfg.Tenants))
+	var wg sync.WaitGroup
+	for i, spec := range cfg.Tenants {
+		wg.Add(1)
+		go func(i int, spec tenantSpec) {
+			defer wg.Done()
+			hotkey := spec.Mix == "hotkey"
+			// Every tenant draws from the same query pool (seeded once)
+			// so tenants contend for the same plans; only the pick order
+			// differs per tenant.
+			w := buildWorkload(cfg.Seed, cfg.PoolSize, hotkey)
+			results[i] = result{spec, driveTenant(cfg, spec, w, client, cfg.Seed+int64(i)+1)}
+		}(i, spec)
+	}
+	wg.Wait()
+
+	rep := &Report{URL: cfg.URL, DurationSeconds: cfg.Duration.Seconds()}
+	var all []sample
+	for _, res := range results {
+		rep.Tenants = append(rep.Tenants, summarize(res.spec.Name, res.spec, res.samples))
+		all = append(all, res.samples...)
+	}
+	rep.Overall = summarize("_all", tenantSpec{}, all)
+	rep.Overall.Mix = ""
+	rep.ServerStats = fetchStats(cfg.URL, client)
+	return rep, nil
+}
+
+func waitHealthy(url string, client *http.Client, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %v", url, wait)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// fetchStats snapshots the server's /stats so the report carries the
+// server-side view (per-tenant admission counters) next to the
+// client-side latencies. Best effort: a missing endpoint leaves it out.
+func fetchStats(url string, client *http.Client) json.RawMessage {
+	resp, err := client.Get(url + "/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var raw json.RawMessage
+	if json.NewDecoder(resp.Body).Decode(&raw) != nil {
+		return nil
+	}
+	return raw
+}
+
+// gateConfig is the assertion half: bounds on the protected tenant and
+// on the whole server. Zero bounds are not checked.
+type gateConfig struct {
+	Tenant       string  // the well-behaved tenant to protect
+	P99MS        float64 // its p99 bound
+	ErrorRate    float64 // its error-rate bound (rejections included)
+	OverallP99MS float64 // whole-server p99 envelope
+}
+
+// checkGate returns one violation string per broken bound (empty =
+// gate passes).
+func checkGate(rep *Report, g gateConfig) []string {
+	var violations []string
+	if g.Tenant != "" {
+		var tr *TenantReport
+		for i := range rep.Tenants {
+			if rep.Tenants[i].Tenant == g.Tenant {
+				tr = &rep.Tenants[i]
+				break
+			}
+		}
+		if tr == nil {
+			return []string{fmt.Sprintf("gate tenant %q not in report", g.Tenant)}
+		}
+		if tr.Sent == 0 {
+			violations = append(violations, fmt.Sprintf("tenant %s sent no requests", g.Tenant))
+		}
+		if g.P99MS > 0 && tr.P99MS > g.P99MS {
+			violations = append(violations,
+				fmt.Sprintf("tenant %s p99 %.1fms exceeds bound %.1fms", g.Tenant, tr.P99MS, g.P99MS))
+		}
+		if tr.ErrorRate > g.ErrorRate {
+			violations = append(violations,
+				fmt.Sprintf("tenant %s error rate %.4f exceeds bound %.4f", g.Tenant, tr.ErrorRate, g.ErrorRate))
+		}
+	}
+	if g.OverallP99MS > 0 && rep.Overall.P99MS > g.OverallP99MS {
+		violations = append(violations,
+			fmt.Sprintf("overall p99 %.1fms exceeds envelope %.1fms", rep.Overall.P99MS, g.OverallP99MS))
+	}
+	return violations
+}
+
+func main() {
+	var tenants tenantFlags
+	var (
+		url      = flag.String("url", "http://localhost:8080", "htdserve base URL")
+		duration = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		seed     = flag.Int64("seed", 1, "workload seed (same seed = same queries)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		wait     = flag.Duration("wait", 0, "poll /healthz up to this long before starting")
+		pool     = flag.Int("pool", 32, "distinct queries in the workload pool")
+		out      = flag.String("out", "", "write the JSON report here (default stdout)")
+
+		gateTenant  = flag.String("gate-tenant", "", "gate mode: tenant whose bounds must hold")
+		gateP99     = flag.Float64("gate-p99-ms", 0, "gate: max p99 for the gated tenant (0 = unchecked)")
+		gateErrRate = flag.Float64("gate-error-rate", 0, "gate: max error rate (429s included) for the gated tenant")
+		gateOverall = flag.Float64("gate-overall-p99-ms", 0, "gate: whole-server p99 envelope (0 = unchecked)")
+	)
+	flag.Var(&tenants, "tenant", "traffic source name:qps[:mix] (mix: uniform|hotkey); repeatable")
+	flag.Parse()
+
+	rep, err := run(config{
+		URL:      strings.TrimRight(*url, "/"),
+		Duration: *duration,
+		Tenants:  tenants,
+		Seed:     *seed,
+		Timeout:  *timeout,
+		Wait:     *wait,
+		PoolSize: *pool,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(2)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: marshal report: %v\n", err)
+		os.Exit(2)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: write %s: %v\n", *out, err)
+		os.Exit(2)
+	}
+
+	if *gateTenant != "" || *gateOverall > 0 {
+		violations := checkGate(rep, gateConfig{
+			Tenant:       *gateTenant,
+			P99MS:        *gateP99,
+			ErrorRate:    *gateErrRate,
+			OverallP99MS: *gateOverall,
+		})
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "loadgen: GATE VIOLATION: %s\n", v)
+		}
+		if len(violations) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "loadgen: gate passed")
+	}
+}

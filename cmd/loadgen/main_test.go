@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseTenantSpec(t *testing.T) {
+	good := map[string]tenantSpec{
+		"a:5":           {Name: "a", QPS: 5, Mix: "uniform"},
+		"b:2.5:hotkey":  {Name: "b", QPS: 2.5, Mix: "hotkey"},
+		"c:100:uniform": {Name: "c", QPS: 100, Mix: "uniform"},
+	}
+	for in, want := range good {
+		got, err := parseTenantSpec(in)
+		if err != nil {
+			t.Errorf("parseTenantSpec(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseTenantSpec(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "a", "a:0", "a:-1", "a:x", "a:1:weird", ":1", "a:1:hotkey:extra"} {
+		if _, err := parseTenantSpec(bad); err == nil {
+			t.Errorf("parseTenantSpec(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond // 1ms..100ms sorted
+	}
+	if q := quantile(lats, 0.50); q != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", q)
+	}
+	if q := quantile(lats, 0.99); q != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", q)
+	}
+	if q := quantile(lats, 1.0); q != 100*time.Millisecond {
+		t.Fatalf("p100 = %v, want 100ms", q)
+	}
+}
+
+func TestBuildWorkloadDeterministicAndHotkey(t *testing.T) {
+	a := buildWorkload(7, 8, false)
+	b := buildWorkload(7, 8, false)
+	if len(a.bodies) != 8 || len(b.bodies) != 8 {
+		t.Fatalf("pool sizes %d/%d, want 8", len(a.bodies), len(b.bodies))
+	}
+	for i := range a.bodies {
+		if string(a.bodies[i]) != string(b.bodies[i]) {
+			t.Fatalf("workload not deterministic at index %d", i)
+		}
+	}
+	// Bodies must be valid /query payloads.
+	var payload struct {
+		Query    string `json:"query"`
+		Database string `json:"database"`
+	}
+	if err := json.Unmarshal(a.bodies[0], &payload); err != nil {
+		t.Fatalf("body not JSON: %v", err)
+	}
+	if payload.Query == "" || payload.Database == "" {
+		t.Fatalf("body missing query/database: %s", a.bodies[0])
+	}
+}
+
+// stubServer imitates the tenant wall: tenant "greedy" has a hard
+// budget of maxGreedy requests, everything else always answers 200.
+func stubServer(t *testing.T, maxGreedy int) (*httptest.Server, *sync.Map) {
+	t.Helper()
+	var counts sync.Map // tenant -> *int under mu
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			w.WriteHeader(http.StatusOK)
+			return
+		case "/stats":
+			w.Write([]byte(`{"Tenants":{}}`))
+			return
+		case "/query":
+		default:
+			http.NotFound(w, r)
+			return
+		}
+		tenant := r.Header.Get("X-Tenant")
+		mu.Lock()
+		nAny, _ := counts.LoadOrStore(tenant, new(int))
+		n := nAny.(*int)
+		*n++
+		over := tenant == "greedy" && *n > maxGreedy
+		mu.Unlock()
+		if over {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"ok":false,"error":"tenant: over limit","retry_after_ms":1000}`))
+			return
+		}
+		w.Write([]byte(`{"ok":true,"row_count":1}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &counts
+}
+
+// TestRunAgainstStub drives run() end to end: the greedy tenant must
+// see rejections, the polite tenant must stay clean, and the gate must
+// tell the two apart.
+func TestRunAgainstStub(t *testing.T) {
+	srv, _ := stubServer(t, 5)
+
+	rep, err := run(config{
+		URL:      srv.URL,
+		Duration: 500 * time.Millisecond,
+		Timeout:  5 * time.Second,
+		Wait:     2 * time.Second,
+		Seed:     1,
+		PoolSize: 4,
+		Tenants: []tenantSpec{
+			{Name: "greedy", QPS: 200, Mix: "hotkey"},
+			{Name: "polite", QPS: 40, Mix: "uniform"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("report has %d tenants, want 2", len(rep.Tenants))
+	}
+	byName := map[string]TenantReport{}
+	for _, tr := range rep.Tenants {
+		byName[tr.Tenant] = tr
+	}
+	greedy, polite := byName["greedy"], byName["polite"]
+	if greedy.Sent == 0 || polite.Sent == 0 {
+		t.Fatalf("tenants sent nothing: greedy %+v polite %+v", greedy, polite)
+	}
+	if greedy.Rejected == 0 {
+		t.Fatalf("greedy saw no 429s: %+v", greedy)
+	}
+	if polite.Errors != 0 || polite.Rejected != 0 {
+		t.Fatalf("polite tenant harmed by stub: %+v", polite)
+	}
+	if polite.P99MS <= 0 || polite.P50MS > polite.P99MS {
+		t.Fatalf("implausible polite latencies: %+v", polite)
+	}
+	if rep.Overall.Sent != greedy.Sent+polite.Sent {
+		t.Fatalf("overall sent %d != %d + %d", rep.Overall.Sent, greedy.Sent, polite.Sent)
+	}
+	if rep.ServerStats == nil {
+		t.Fatal("report missing server stats snapshot")
+	}
+
+	// The gate protects polite and rejects greedy.
+	if v := checkGate(rep, gateConfig{Tenant: "polite", P99MS: 10_000, ErrorRate: 0.01}); len(v) != 0 {
+		t.Fatalf("gate on polite tenant failed: %v", v)
+	}
+	if v := checkGate(rep, gateConfig{Tenant: "greedy", ErrorRate: 0.01}); len(v) == 0 {
+		t.Fatal("gate on greedy tenant passed, want violation")
+	}
+	if v := checkGate(rep, gateConfig{Tenant: "nobody"}); len(v) == 0 {
+		t.Fatal("gate on unknown tenant passed, want violation")
+	}
+	if v := checkGate(rep, gateConfig{OverallP99MS: 0.000001}); len(v) == 0 {
+		t.Fatal("absurd overall envelope passed, want violation")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/race"
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // Hypergraph is an immutable hypergraph; construct one with a Builder or
@@ -192,6 +193,36 @@ var (
 
 // NewService returns a decomposition service. Close it when done.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// TenantWall is the multi-tenant admission layer in front of a
+// Service's global admission control: per-tenant token-bucket rate
+// limits, in-flight caps and bounded wait queues, an optional
+// fair-share spare pool that reflows unused per-tenant budget, and
+// always-on per-tenant counters with streaming p50/p99 latency.
+// Configure it via ServiceConfig.Tenants; reach it with
+// Service.Tenants().
+type TenantWall = tenant.Wall
+
+// TenantConfig sizes a TenantWall. The zero value enforces nothing but
+// still accounts per-tenant counters and latency.
+type TenantConfig = tenant.Config
+
+// TenantStats is one tenant's admission snapshot (ServiceStats.Tenants).
+type TenantStats = tenant.Stats
+
+// TenantLimitError is a per-tenant admission rejection, carrying the
+// tenant id, the gate that rejected ("rate" or "load") and a RetryAfter
+// hint sized from the actual token deficit.
+type TenantLimitError = tenant.LimitError
+
+// ErrTenantLimited identifies per-tenant admission rejections:
+// errors.Is(err, ErrTenantLimited) holds for every TenantLimitError,
+// whichever gate rejected.
+var ErrTenantLimited = tenant.ErrLimited
+
+// DefaultTenant is the tenant id attributed to requests that name none
+// (for htdserve: requests without an X-Tenant header).
+const DefaultTenant = tenant.Default
 
 // StoreBackend is the pluggable cross-request storage contract behind a
 // Service: width bounds, cached witness decompositions, and per-width

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/join"
 	"repro/internal/service"
+	"repro/internal/tenant"
 )
 
 // ErrNoPlan is returned when the query's hypertree width exceeds the
@@ -47,6 +48,12 @@ type Request struct {
 	// set would blow MaxRows still aggregate cheaply. The plan (and the
 	// plan cache entry) is the same one a row query uses.
 	Aggregate *join.AggSpec
+	// Tenant attributes the query to a caller for per-tenant admission
+	// control; empty means tenant.Default. The whole query — planning
+	// and execution — is admitted through the service's tenant wall as
+	// one request, so per-tenant p50/p99 measure end-to-end query
+	// latency.
+	Tenant string
 }
 
 // Result is the outcome of one answered query.
@@ -86,6 +93,7 @@ type Stats struct {
 	PlanCoalesced int64 // plans shared with a concurrent identical query
 	PlanFailures  int64 // planning errors (no plan in bound, solve errors)
 	ExecFailures  int64 // execution errors (row budget, cancellation)
+	TenantLimited int64 // queries rejected by the per-tenant admission wall
 	RowsReturned  int64 // total answer tuples across all row queries
 	AggQueries    int64 // answered aggregate (row-free) queries
 	AggGroups     int64 // total groups returned across aggregate queries
@@ -109,6 +117,7 @@ type Planner struct {
 	planCoalesced atomic.Int64
 	planFailures  atomic.Int64
 	execFailures  atomic.Int64
+	tenantLimited atomic.Int64
 	rowsReturned  atomic.Int64
 	aggQueries    atomic.Int64
 	aggGroups     atomic.Int64
@@ -125,14 +134,34 @@ func NewPlanner(svc *service.Service) *Planner {
 	return &Planner{svc: svc}
 }
 
-// Eval answers one conjunctive query: validate, plan (through the
-// service's plan cache), execute Yannakakis, canonicalise the rows.
+// Eval answers one conjunctive query: validate, admit through the
+// per-tenant wall, plan (through the service's plan cache), execute
+// Yannakakis, canonicalise the rows.
 func (p *Planner) Eval(ctx context.Context, req Request) (Result, error) {
 	p.queries.Add(1)
 	if err := validate(req); err != nil {
 		p.planFailures.Add(1)
 		return Result{}, err
 	}
+	// One lease covers planning and execution, so the tenant is
+	// rate-charged once per query and the wall's latency histogram sees
+	// the query end to end. The inner Submit is marked pre-admitted.
+	lease, err := p.svc.Tenants().Admit(ctx, req.Tenant)
+	if err != nil {
+		if errors.Is(err, tenant.ErrLimited) {
+			p.tenantLimited.Add(1)
+		} else {
+			p.planFailures.Add(1)
+		}
+		return Result{}, err
+	}
+	res, err := p.eval(ctx, req)
+	lease.Done(err != nil)
+	return res, err
+}
+
+// eval is Eval past the tenant wall.
+func (p *Planner) eval(ctx context.Context, req Request) (Result, error) {
 	h, err := req.Query.Hypergraph()
 	if err != nil {
 		p.planFailures.Add(1)
@@ -156,11 +185,13 @@ func (p *Planner) Eval(ctx context.Context, req Request) (Result, error) {
 	// query planned again is answered from the cache without a solver.
 	planStart := time.Now()
 	res := p.svc.Submit(ctx, service.Request{
-		H:       h,
-		Mode:    service.ModeOptimal,
-		K:       maxW,
-		Workers: req.Workers,
-		Timeout: req.Timeout,
+		H:              h,
+		Mode:           service.ModeOptimal,
+		K:              maxW,
+		Workers:        req.Workers,
+		Timeout:        req.Timeout,
+		Tenant:         req.Tenant,
+		TenantAdmitted: true,
 	})
 	planElapsed := time.Since(planStart)
 	if res.Err != nil {
@@ -310,6 +341,7 @@ func (p *Planner) Stats() Stats {
 		PlanCoalesced:       p.planCoalesced.Load(),
 		PlanFailures:        p.planFailures.Load(),
 		ExecFailures:        p.execFailures.Load(),
+		TenantLimited:       p.tenantLimited.Load(),
 		RowsReturned:        p.rowsReturned.Load(),
 		AggQueries:          p.aggQueries.Load(),
 		AggGroups:           p.aggGroups.Load(),

@@ -1,0 +1,51 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/tenant"
+)
+
+// TestEvalTenantLeaseCoversWholeQuery verifies the planner takes ONE
+// tenant lease per query — plan and execution together — so a query is
+// rate-charged once, not once per layer, and the tenant's latency
+// histogram sees end-to-end time.
+func TestEvalTenantLeaseCoversWholeQuery(t *testing.T) {
+	svc := service.New(service.Config{
+		TokenBudget:    2,
+		MaxConcurrent:  4,
+		MaxQueue:       256,
+		DefaultTimeout: time.Minute,
+		Tenants:        tenant.Config{Rate: 0.001, Burst: 2},
+	})
+	t.Cleanup(svc.Close)
+	p := NewPlanner(svc)
+
+	r := rand.New(rand.NewSource(7))
+	q, db := RandomInstance(r, GenConfig{})
+
+	// Burst 2 admits exactly two queries even though each query also
+	// submits an inner plan job — proof the inner Submit is pre-admitted
+	// rather than double charged.
+	for i := 0; i < 2; i++ {
+		if _, err := p.Eval(context.Background(), Request{Query: q, DB: db, Tenant: "alice"}); err != nil {
+			t.Fatalf("eval %d: %v", i, err)
+		}
+	}
+	if _, err := p.Eval(context.Background(), Request{Query: q, DB: db, Tenant: "alice"}); !errors.Is(err, tenant.ErrLimited) {
+		t.Fatalf("third eval err = %v, want tenant.ErrLimited", err)
+	}
+
+	if got := p.Stats().TenantLimited; got != 1 {
+		t.Fatalf("TenantLimited = %d, want 1", got)
+	}
+	ts := svc.Stats().Tenants["alice"]
+	if ts.Admitted != 2 || ts.RateRejected != 1 {
+		t.Fatalf("alice stats = %+v, want Admitted 2, RateRejected 1", ts)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/logk"
 	"repro/internal/race"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // Mode selects what a job computes.
@@ -75,6 +76,12 @@ type Config struct {
 	// MemoMaxEntries bounds memoised states per (hypergraph, width)
 	// table; inserts beyond it are dropped. Default 1<<20.
 	MemoMaxEntries int
+	// Tenants configures the per-tenant admission wall layered in
+	// front of the global admission above. The zero value enforces
+	// nothing but still tracks per-tenant counters and latency; set
+	// tenant.Config knobs (rate, burst, in-flight, queue, fair-share)
+	// to turn individual gates on.
+	Tenants tenant.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +141,15 @@ type Request struct {
 	// cache, and request coalescing. The job always runs its own
 	// solver (with a private memo).
 	NoSharedMemo bool
+	// Tenant attributes the job to a caller for per-tenant admission
+	// control and latency accounting; empty means tenant.Default.
+	Tenant string
+	// TenantAdmitted marks that a surrounding layer (the query
+	// planner, which admits a whole query — plan and execution — as
+	// one request) already holds this job's tenant lease; Submit then
+	// skips the tenant wall so the caller is admitted and rate-charged
+	// exactly once.
+	TenantAdmitted bool
 }
 
 // Result is the outcome of one job.
@@ -222,16 +238,22 @@ type Stats struct {
 	// Solver aggregates per-job solver counters over all finished jobs
 	// (sums; MaxDepth is the maximum observed).
 	Solver logk.Stats
+
+	// Tenants is the per-tenant admission snapshot: admitted/rejected
+	// counts, live in-flight and queue depth, and p50/p99 latency from
+	// each tenant's streaming histogram.
+	Tenants map[string]tenant.Stats
 }
 
 // Service is a concurrent decomposition service. Create one with New,
 // share it freely between goroutines, and Close it when done.
 type Service struct {
-	cfg    Config
-	budget *TokenBudget
-	store  store.Backend
-	flight *store.Flight
-	slots  chan struct{}
+	cfg     Config
+	budget  *TokenBudget
+	store   store.Backend
+	flight  *store.Flight
+	tenants *tenant.Wall
+	slots   chan struct{}
 
 	mu     sync.Mutex // guards closed + jobs Add
 	closed bool
@@ -272,11 +294,12 @@ func New(cfg Config) *Service {
 		})
 	}
 	s := &Service{
-		cfg:    cfg,
-		budget: NewTokenBudget(cfg.TokenBudget),
-		store:  cfg.Store,
-		flight: store.NewFlight(),
-		slots:  make(chan struct{}, cfg.MaxConcurrent),
+		cfg:     cfg,
+		budget:  NewTokenBudget(cfg.TokenBudget),
+		store:   cfg.Store,
+		flight:  store.NewFlight(),
+		tenants: tenant.NewWall(cfg.Tenants),
+		slots:   make(chan struct{}, cfg.MaxConcurrent),
 	}
 	s.agg.cancelledByWidth = make(map[int]int64)
 	return s
@@ -288,6 +311,11 @@ func (s *Service) Budget() *TokenBudget { return s.budget }
 // Store exposes the cross-request storage backend, for snapshots
 // (Export/Import), purges, and introspection.
 func (s *Service) Store() store.Backend { return s.store }
+
+// Tenants exposes the per-tenant admission wall, for layered callers
+// (the query planner admits a whole query through it as one lease) and
+// for stats.
+func (s *Service) Tenants() *tenant.Wall { return s.tenants }
 
 // Config returns the effective configuration, with defaults resolved.
 func (s *Service) Config() Config { return s.cfg }
@@ -301,8 +329,9 @@ func flightKey(hash string, req Request) string {
 }
 
 // Submit runs one job, blocking until it finishes, fails, or is
-// rejected. It is safe to call from any number of goroutines; admission
-// control decides which callers wait and which fail fast.
+// rejected. It is safe to call from any number of goroutines; the
+// per-tenant wall (keyed by Request.Tenant) and the global admission
+// control decide which callers wait and which fail fast.
 //
 // Submissions read through the cross-request store: a request whose
 // answer is already cached returns a validated result without running a
@@ -326,6 +355,30 @@ func (s *Service) Submit(ctx context.Context, req Request) Result {
 	defer s.jobs.Done()
 	s.submitted.Add(1)
 
+	// The tenant wall sits in front of the global admission below: a
+	// caller over its own rate, in-flight or queue budget is rejected
+	// here before it can consume any shared slot, queue space, or
+	// solver effort — one hot tenant's overflow cannot starve the rest.
+	if !req.TenantAdmitted {
+		lease, err := s.tenants.Admit(ctx, req.Tenant)
+		if err != nil {
+			if errors.Is(err, tenant.ErrLimited) {
+				s.rejected.Add(1)
+			} else {
+				s.failed.Add(1)
+			}
+			return Result{Err: err}
+		}
+		res := s.dispatch(ctx, req)
+		lease.Done(res.Err != nil)
+		return res
+	}
+	return s.dispatch(ctx, req)
+}
+
+// dispatch routes an accepted, tenant-admitted job: read-through cache
+// lookup, coalescing, then global admission and the solver.
+func (s *Service) dispatch(ctx context.Context, req Request) Result {
 	if req.NoSharedMemo {
 		return s.admitAndRun(ctx, req, "")
 	}
@@ -758,6 +811,7 @@ func (s *Service) Stats() Stats {
 		BoundsReuses:     s.boundsReuses.Load(),
 		CancelledByWidth: cancelled,
 		Solver:           solver,
+		Tenants:          s.tenants.Stats(),
 	}
 }
 

@@ -1,0 +1,107 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/tenant"
+)
+
+// TestSubmitChargesTenantWall verifies Submit admits through the
+// per-tenant wall: a tenant over its rate budget is rejected with
+// tenant.ErrLimited, the rejection shows up in both the global Rejected
+// counter and the tenant's own stats, and other tenants are untouched.
+func TestSubmitChargesTenantWall(t *testing.T) {
+	svc := New(Config{
+		TokenBudget:   1,
+		MaxConcurrent: 4,
+		MaxQueue:      16,
+		Tenants:       tenant.Config{Rate: 0.001, Burst: 1},
+	})
+	defer svc.Close()
+
+	h := cycle(6)
+	res := svc.Submit(context.Background(), Request{H: h, K: 2, Tenant: "alice"})
+	if res.Err != nil {
+		t.Fatalf("first submit: %v", res.Err)
+	}
+
+	res = svc.Submit(context.Background(), Request{H: h, K: 2, Tenant: "alice"})
+	if !errors.Is(res.Err, tenant.ErrLimited) {
+		t.Fatalf("second submit err = %v, want tenant.ErrLimited", res.Err)
+	}
+	var le *tenant.LimitError
+	if !errors.As(res.Err, &le) || le.RetryAfter <= 0 {
+		t.Fatalf("limit error %v carries no positive RetryAfter", res.Err)
+	}
+
+	// A different tenant has its own untouched bucket.
+	res = svc.Submit(context.Background(), Request{H: h, K: 2, Tenant: "bob"})
+	if res.Err != nil {
+		t.Fatalf("other tenant submit: %v", res.Err)
+	}
+
+	st := svc.Stats()
+	if st.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", st.Rejected)
+	}
+	ts, ok := st.Tenants["alice"]
+	if !ok {
+		t.Fatal("stats missing tenant alice")
+	}
+	if ts.Admitted != 1 || ts.RateRejected != 1 {
+		t.Fatalf("alice stats = %+v, want Admitted 1, RateRejected 1", ts)
+	}
+	if bs := st.Tenants["bob"]; bs.Admitted != 1 || bs.RateRejected != 0 {
+		t.Fatalf("bob stats = %+v, want Admitted 1, RateRejected 0", bs)
+	}
+}
+
+// TestSubmitTenantAdmittedBypassesWall verifies the pre-admitted path:
+// a layered caller (the query planner) that already holds a tenant
+// lease must not be charged a second time by the inner Submit.
+func TestSubmitTenantAdmittedBypassesWall(t *testing.T) {
+	svc := New(Config{
+		TokenBudget:   1,
+		MaxConcurrent: 4,
+		MaxQueue:      16,
+		Tenants:       tenant.Config{Rate: 0.001, Burst: 1},
+	})
+	defer svc.Close()
+
+	h := cycle(6)
+	for i := 0; i < 3; i++ {
+		res := svc.Submit(context.Background(), Request{
+			H: h, K: 2, Tenant: "alice", TenantAdmitted: true,
+		})
+		if res.Err != nil {
+			t.Fatalf("pre-admitted submit %d: %v", i, res.Err)
+		}
+	}
+	if ts := svc.Stats().Tenants["alice"]; ts.Admitted != 0 || ts.RateRejected != 0 {
+		t.Fatalf("pre-admitted submissions charged the wall: %+v", ts)
+	}
+}
+
+// TestSubmitDefaultTenantUnlimited verifies the zero tenant config is
+// pure accounting: no limits armed, every request admitted, latency
+// still recorded per tenant.
+func TestSubmitDefaultTenantUnlimited(t *testing.T) {
+	svc := New(Config{TokenBudget: 1, MaxConcurrent: 4, MaxQueue: 16})
+	defer svc.Close()
+
+	h := cycle(6)
+	for i := 0; i < 5; i++ {
+		if res := svc.Submit(context.Background(), Request{H: h, K: 2}); res.Err != nil {
+			t.Fatalf("submit %d: %v", i, res.Err)
+		}
+	}
+	ts, ok := svc.Stats().Tenants[tenant.Default]
+	if !ok {
+		t.Fatal("stats missing the default tenant")
+	}
+	if ts.Admitted != 5 || ts.Completed != 5 {
+		t.Fatalf("default tenant stats = %+v, want Admitted 5, Completed 5", ts)
+	}
+}

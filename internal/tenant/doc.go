@@ -1,0 +1,39 @@
+// Package tenant implements per-tenant admission control for the
+// serving layers: the load wall that turns the solver's per-query
+// tractability guarantee into a per-caller fairness guarantee.
+//
+// The central type is the Wall. Every request is attributed to a
+// tenant id (Default when the caller names none) and passes three
+// per-tenant gates before it may consume any solver or executor
+// budget:
+//
+//   - a token-bucket rate limit (Config.Rate requests/second reserved
+//     per tenant, Config.Burst of instantaneous headroom),
+//   - a concurrency cap (Config.MaxInFlight admitted requests at
+//     once), and
+//   - a bounded wait queue in front of the concurrency cap
+//     (Config.MaxQueue; beyond it the request is rejected instead of
+//     queued, so a greedy tenant's overflow turns into fast 429s
+//     rather than ever-growing latency for everyone).
+//
+// In fair-share mode (Config.FairShare) the wall additionally keeps a
+// shared spare pool: every refill interval, tokens a tenant cannot
+// hold (its bucket is already full) flow into the pool, as does the
+// capacity the box has beyond the sum of per-tenant reserves
+// (Config.GlobalRate). A tenant whose own bucket is empty may draw
+// from the pool, so a single tenant on an otherwise idle box still
+// gets the full global throughput — while every other tenant's
+// reserved rate remains untouchable, which is the isolation property
+// the load gate asserts.
+//
+// Rejections are *LimitError values carrying the tenant, the gate that
+// rejected (rate or load) and a RetryAfter hint sized from the actual
+// token deficit; errors.Is(err, ErrLimited) identifies them across
+// layers. Admissions return a *Lease whose Done records the request's
+// outcome and its admit-to-done latency into a fixed-memory streaming
+// Histogram, from which per-tenant p50/p99 are served on /stats.
+//
+// A Wall with a zero Config enforces nothing but still accounts
+// everything: per-tenant counters and latency quantiles are always
+// maintained, enforcement of each gate is opt-in via its config knob.
+package tenant

@@ -1,0 +1,78 @@
+#!/usr/bin/env sh
+# load_gate.sh — the live load wall.
+#
+# Boots a real htdserve with the tenant wall armed, drives it with a
+# greedy tenant at 10x its rate limit next to a polite tenant well
+# inside its budget, and asserts isolation:
+#
+#   (a) the polite tenant's p99 and error rate stay within bounds even
+#       while the greedy tenant is being rejected wholesale, and
+#   (b) the whole server's p99 stays inside a calibrated envelope.
+#
+# Writes the loadgen JSON report (per-tenant p50/p99/error-rate plus
+# the server's own /stats snapshot) to the path given as $1, default
+# BENCH_PR7.json — committed once as the PR's evidence and uploaded
+# nightly as an artifact.
+#
+# Usage: scripts/load_gate.sh [report.json]
+set -eu
+
+OUT="${1:-BENCH_PR7.json}"
+ADDR="127.0.0.1:18231"
+URL="http://$ADDR"
+
+# Calibration: the tenant wall reserves 40 admissions/s per tenant with
+# fair-share reflow. The greedy tenant offers 400 qps (10x its limit,
+# so the wall must reject most of it); the polite tenant offers 10 qps
+# (a quarter of its reserve, so the wall must never touch it).
+TENANT_RATE=40
+GREEDY_QPS=400
+POLITE_QPS=10
+DURATION="${LOAD_GATE_DURATION:-10s}"
+
+# Bounds: tiny conjunctive queries answer in single-digit milliseconds
+# warm; 250ms p99 for the polite tenant and a 500ms whole-server
+# envelope leave room for cold plans and noisy CI boxes while still
+# catching an unfair scheduler by an order of magnitude.
+POLITE_P99_MS=250
+POLITE_ERROR_RATE=0.01
+OVERALL_P99_MS=500
+
+BIN="$(mktemp -d)"
+trap 'kill "$SRV_PID" 2>/dev/null || true; wait "$SRV_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+
+echo "load_gate: building htdserve and loadgen"
+go build -o "$BIN/htdserve" ./cmd/htdserve
+go build -o "$BIN/loadgen" ./cmd/loadgen
+
+echo "load_gate: starting htdserve on $ADDR (tenant rate $TENANT_RATE/s, fair-share on)"
+"$BIN/htdserve" -addr "$ADDR" \
+  -tenant-rate "$TENANT_RATE" \
+  -tenant-inflight 8 \
+  -tenant-queue 16 \
+  -fair-share \
+  >/dev/null 2>&1 &
+SRV_PID=$!
+
+echo "load_gate: driving greedy:${GREEDY_QPS}qps(hotkey) + polite:${POLITE_QPS}qps(uniform) for $DURATION"
+"$BIN/loadgen" \
+  -url "$URL" \
+  -wait 15s \
+  -duration "$DURATION" \
+  -tenant "greedy:$GREEDY_QPS:hotkey" \
+  -tenant "polite:$POLITE_QPS:uniform" \
+  -out "$OUT" \
+  -gate-tenant polite \
+  -gate-p99-ms "$POLITE_P99_MS" \
+  -gate-error-rate "$POLITE_ERROR_RATE" \
+  -gate-overall-p99-ms "$OVERALL_P99_MS"
+
+# The gate above proves the polite tenant was protected; also prove the
+# wall actually pushed back on the greedy tenant, otherwise the run
+# demonstrated nothing.
+GREEDY_REJECTED=$(sed -n 's/^[[:space:]]*"rejected": \([0-9]*\),*$/\1/p' "$OUT" | head -1)
+if [ -z "$GREEDY_REJECTED" ] || [ "$GREEDY_REJECTED" -eq 0 ]; then
+  echo "load_gate: FAIL: greedy tenant saw no rejections (wall not engaged)" >&2
+  exit 1
+fi
+echo "load_gate: PASS (greedy rejected $GREEDY_REJECTED times, report in $OUT)"
