@@ -10,8 +10,11 @@ BENCH_JSON ?= BENCH_PR6.json
 BENCH_BASELINE ?= BENCH_PR4.json
 # Load-wall report produced by `make load-gate` and uploaded nightly.
 LOAD_JSON ?= BENCH_PR7.json
+# Memory-diet artifact produced by `make bench-mem` and gated by
+# `make bench-mem-gate` (the columnar-storage PR's baseline).
+BENCH_MEM_JSON ?= BENCH_PR8.json
 
-.PHONY: all build fmt fmt-check vet lint test race bench bench-exec bench-agg bench-gate load-gate stress differential fuzz fuzz-long docs-check serve ci
+.PHONY: all build fmt fmt-check vet lint test race bench bench-exec bench-agg bench-gate bench-mem bench-mem-gate pprof-capture load-gate stress differential fuzz fuzz-long docs-check serve ci
 
 all: build
 
@@ -68,6 +71,30 @@ bench-gate:
 		-benchjson /tmp/BENCH_query_fresh.json \
 		-compare $(BENCH_BASELINE) -tolerance 0.25 -calibrate query-cold -quiet
 
+# This PR's benchmark: the memory-diet harness — columnar kernels vs
+# the frozen pre-columnar rowref executor, allocs/op and bytes/op cold
+# vs warm, with byte-identity and the 2x allocation-reduction wall
+# enforced inside the experiment. Writes $(BENCH_MEM_JSON).
+bench-mem:
+	$(GO) run ./cmd/benchtab -experiment mem -benchjson $(BENCH_MEM_JSON) -quiet
+
+# The memory-regression gate CI runs on every PR: a fresh mem run must
+# not regress warm indexed allocs/op, bytes/op, or (calibrated) ns/op
+# >25% against the committed $(BENCH_MEM_JSON). Allocation counts are
+# machine-independent; the rowref entries calibrate machine speed out
+# of the timing ratios only.
+bench-mem-gate:
+	$(GO) run ./cmd/benchtab -experiment mem \
+		-benchjson /tmp/BENCH_mem_fresh.json \
+		-compare $(BENCH_MEM_JSON) -tolerance 0.25 \
+		-gate mem-indexed/ -calibrate mem-rowref/ -quiet
+
+# Capture heap/allocs/CPU profiles from a live htdserve under load via
+# the -pprof-addr listener; writes them under $(PPROF_DIR) (default
+# /tmp/htd-pprof). Nightly CI uploads the directory as an artifact.
+pprof-capture:
+	./scripts/capture_pprof.sh $(or $(PPROF_DIR),/tmp/htd-pprof)
+
 # The live load wall (nightly CI): boots htdserve with the tenant wall
 # armed, drives a greedy tenant at 10x its rate limit beside a polite
 # tenant, and asserts the polite tenant's p99/error rate plus the
@@ -99,4 +126,4 @@ docs-check:
 serve:
 	$(GO) run ./cmd/htdserve
 
-ci: fmt-check vet lint build race bench bench-gate stress differential fuzz docs-check
+ci: fmt-check vet lint build race bench bench-gate bench-mem-gate stress differential fuzz docs-check

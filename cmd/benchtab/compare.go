@@ -111,9 +111,26 @@ func compareBench(fresh, baseline benchFile, prefixes []string, tol float64, cal
 			} else {
 				mark = "✓"
 			}
+			// Allocation counters need no machine-speed calibration: the
+			// same code does the same allocations on any host, so a fresh
+			// run exceeding the committed baseline is a real regression.
+			if base.AllocsPerOp > 0 && f.AllocsPerOp/base.AllocsPerOp > 1+tol {
+				failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f allocs/op = %.2fx (limit %.2fx)",
+					name, f.AllocsPerOp, base.AllocsPerOp, f.AllocsPerOp/base.AllocsPerOp, 1+tol))
+				mark = "✗"
+			}
+			if base.BytesPerOp > 0 && f.BytesPerOp/base.BytesPerOp > 1+tol {
+				failures = append(failures, fmt.Sprintf("%s: %.0f B/op vs baseline %.0f B/op = %.2fx (limit %.2fx)",
+					name, f.BytesPerOp, base.BytesPerOp, f.BytesPerOp/base.BytesPerOp, 1+tol))
+				mark = "✗"
+			}
 		}
 		fmt.Fprintf(&rep, "%s %-32s baseline %12.0f ns/op   fresh %12.0f ns/op   %5.2fx\n",
 			mark, name, base.NsPerOp, f.NsPerOp, ratio)
+		if base.AllocsPerOp > 0 && f.AllocsPerOp > 0 {
+			fmt.Fprintf(&rep, "  %-32s baseline %12.0f allocs/op fresh %12.0f allocs/op %5.2fx\n",
+				"", base.AllocsPerOp, f.AllocsPerOp, f.AllocsPerOp/base.AllocsPerOp)
+		}
 	}
 	return rep.String(), failures
 }

@@ -120,7 +120,7 @@ func execExperiment(ctx context.Context, cfg harness.Config, jsonPath string) (*
 				// answer byte for byte, tuple order included.
 				for i := range results {
 					if !reflect.DeepEqual(results[i].Attrs, reference[i].Attrs) ||
-						!reflect.DeepEqual(results[i].Tuples, reference[i].Tuples) {
+						!reflect.DeepEqual(results[i].Rows(), reference[i].Rows()) {
 						return nil, fmt.Errorf("bucket %s %s: kernel %s diverged from the scan kernel",
 							b.name, instances[i].name, k.name)
 					}

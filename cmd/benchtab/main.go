@@ -9,7 +9,7 @@
 //	benchtab -experiment figure3 -csv scatter.csv
 //
 // Experiments: table1 table2 table3 table4 table5 figure1 figure3
-// ablation depth ghd race store query exec agg all
+// ablation depth ghd race store query exec agg mem all
 //
 // The race experiment compares the serial k = 1..kmax width ladder
 // against the optimal-width racing service pipeline; the store
@@ -20,7 +20,11 @@
 // the exec experiment races the three executor kernels (legacy
 // slice-scan, hash-indexed, parallel indexed) over identical plans;
 // the agg experiment compares aggregate pushdown against
-// materialise-then-fold on high-output star queries (BENCH_PR6.json).
+// materialise-then-fold on high-output star queries (BENCH_PR6.json);
+// the mem experiment is the memory-diet harness — columnar kernels vs
+// the frozen pre-columnar rowref executor, recording allocs/op,
+// bytes/op, GC pauses, and peak RSS, with byte-identity and a 2x
+// allocation-reduction wall enforced in-experiment (BENCH_PR8.json).
 // With -benchjson any of them writes its measurements as a JSON
 // benchmark artifact (BENCH_PR5.json in CI) so the perf trajectory is
 // tracked across PRs.
@@ -186,6 +190,12 @@ func main() {
 				return err
 			}
 			fmt.Print(tab.Render())
+		case "mem":
+			tab, err := memExperiment(ctx, cfg, *rounds, *benchJSON)
+			if err != nil {
+				return err
+			}
+			fmt.Print(tab.Render())
 		case "depth":
 			fmt.Print(harness.DepthExperiment(ctx, []int{16, 32, 64, 128, 256, 512}).Render())
 		case "ghd":
@@ -211,7 +221,7 @@ func main() {
 	names := []string{*experiment}
 	if *experiment == "all" {
 		names = []string{"table1", "table2", "table3", "table4", "table5",
-			"figure1", "figure3", "ablation", "depth", "ghd", "race", "store", "query", "exec", "agg"}
+			"figure1", "figure3", "ablation", "depth", "ghd", "race", "store", "query", "exec", "agg", "mem"}
 	}
 	for _, n := range names {
 		if err := run(strings.TrimSpace(n)); err != nil {

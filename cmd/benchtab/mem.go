@@ -1,0 +1,297 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	htd "repro"
+	"repro/internal/harness"
+	"repro/internal/join"
+)
+
+// memExperiment is the memory-diet harness behind `make bench-mem`
+// (BENCH_PR8.json): per workload bucket it runs the same pre-computed
+// plans through three executors —
+//
+//   - rowref: the frozen pre-columnar executor (one heap []int per
+//     tuple, string-keyed hash maps), the live allocation baseline;
+//   - scan: the slice-scan kernel on columnar storage;
+//   - indexed: the default hash-indexed kernel on columnar storage;
+//
+// — and records allocs/op, bytes/op, GC pause totals, and wall time
+// for a cold pass and a best-of-rounds warm pass each, plus the
+// process's peak RSS (VmHWM). Two walls run inside the experiment
+// before anything is written:
+//
+//  1. row identity: both columnar kernels must reproduce the rowref
+//     executor's rows byte for byte, order included, on every instance;
+//  2. allocation diet: the indexed kernel's warm allocs/op AND
+//     bytes/op must be at most half the rowref baseline's in every
+//     bucket — the ≥2x reduction the columnar refactor exists for.
+//
+// Counters come from runtime.MemStats deltas around each pass (after
+// a forced GC, so carry-over garbage doesn't pollute the window);
+// result materialisation for the identity wall happens outside the
+// window, so engines are charged for evaluation only. Allocation
+// counts are machine-independent; the committed artifact gates them
+// in CI without speed calibration (see compareBench).
+func memExperiment(ctx context.Context, cfg harness.Config, rounds int, jsonPath string) (*harness.Table, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	type bucket struct {
+		name string
+		gen  func() []execInstance
+	}
+	buckets := []bucket{
+		{"chain8", func() []execInstance { return chainInstances(8, 5, 4000, 8000) }},
+		{"star6", func() []execInstance { return starInstances(6, 6, 800, 400) }},
+	}
+
+	out := benchFile{
+		Experiment:  "mem",
+		GeneratedBy: "cmd/benchtab",
+		KMax:        cfg.KMax,
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+	}
+	t := &harness.Table{
+		Title: "Memory diet: pre-columnar rowref vs columnar scan vs columnar indexed",
+		Headers: []string{"Bucket", "N", "engine",
+			"warm-ms", "allocs/op", "KB/op", "gc-pause-ms", "vs-rowref-allocs"},
+	}
+
+	for _, b := range buckets {
+		instances := b.gen()
+		for i := range instances {
+			h, err := instances[i].q.Hypergraph()
+			if err != nil {
+				return nil, fmt.Errorf("bucket %s: %w", b.name, err)
+			}
+			_, d, ok, err := htd.OptimalWidth(ctx, h, cfg.KMax)
+			if err != nil || !ok {
+				return nil, fmt.Errorf("bucket %s %s: no plan (ok=%v err=%v)", b.name, instances[i].name, ok, err)
+			}
+			instances[i].d = d
+		}
+		// The row-layout image of each database is built once, outside
+		// every measurement window — the baseline pays for query
+		// evaluation, not for converting base data it would have held
+		// resident anyway.
+		rdbs := make([]join.RowDatabase, len(instances))
+		for i, in := range instances {
+			rdbs[i] = join.NewRowDatabase(in.db)
+		}
+
+		// Each engine evaluates every instance inside the measurement
+		// window and materialises rows (for the identity wall) outside it.
+		type engine struct {
+			name string
+			eval func() (any, error)
+			rows func(res any) [][][]int
+		}
+		engines := []engine{
+			{
+				name: "rowref",
+				eval: func() (any, error) {
+					res := make([]*join.RowRelation, len(instances))
+					for i, in := range instances {
+						r, err := join.EvaluateRowRef(ctx, in.q, rdbs[i], in.d, 0)
+						if err != nil {
+							return nil, err
+						}
+						res[i] = r
+					}
+					return res, nil
+				},
+				rows: func(res any) [][][]int {
+					rels := res.([]*join.RowRelation)
+					rows := make([][][]int, len(rels))
+					for i, r := range rels {
+						rows[i] = r.Tuples
+					}
+					return rows
+				},
+			},
+			{name: "scan", eval: columnarEval(ctx, instances, join.EvalOptions{Kernel: join.KernelScan}), rows: columnarRows},
+			{name: "indexed", eval: columnarEval(ctx, instances, join.EvalOptions{}), rows: columnarRows},
+		}
+
+		n := float64(len(instances))
+		var warm [3]memSample
+		var reference [][][]int
+		for ei, eng := range engines {
+			var cold memSample
+			best := memSample{ns: -1}
+			var lastRes any
+			for pass := 0; pass <= rounds; pass++ {
+				s, res, err := measurePass(eng.eval)
+				if err != nil {
+					return nil, fmt.Errorf("bucket %s engine %s: %w", b.name, eng.name, err)
+				}
+				lastRes = res
+				if pass == 0 {
+					cold = s
+				} else if best.ns < 0 || s.ns < best.ns {
+					best = s
+				}
+			}
+			warm[ei] = best
+
+			// Wall 1: byte-identical rows, order included, against the
+			// pre-columnar reference.
+			rows := eng.rows(lastRes)
+			if ei == 0 {
+				reference = rows
+			} else {
+				for i := range rows {
+					if !reflect.DeepEqual(rows[i], reference[i]) {
+						return nil, fmt.Errorf("bucket %s %s: engine %s diverged from the pre-columnar rowref executor",
+							b.name, instances[i].name, eng.name)
+					}
+				}
+			}
+
+			for _, e := range []struct {
+				prefix string
+				s      memSample
+			}{{"mem-", best}, {"mem-cold-", cold}} {
+				out.Benchmarks = append(out.Benchmarks, benchEntry{
+					Name:        e.prefix + eng.name + "/" + b.name,
+					NsPerOp:     e.s.ns / n,
+					Ops:         len(instances),
+					Solved:      len(instances),
+					WallMS:      e.s.ns / 1e6,
+					Workers:     1,
+					Rounds:      rounds,
+					AllocsPerOp: e.s.allocs / n,
+					BytesPerOp:  e.s.bytes / n,
+					Notes: fmt.Sprintf("gc pause %.2fms over the pass; %s",
+						e.s.pause/1e6, engineNote(eng.name)),
+				})
+			}
+			t.AddRow(b.name, len(instances), eng.name,
+				fmt.Sprintf("%.1f", best.ns/1e6),
+				fmt.Sprintf("%.0f", best.allocs/n),
+				fmt.Sprintf("%.0f", best.bytes/n/1024),
+				fmt.Sprintf("%.2f", best.pause/1e6),
+				fmt.Sprintf("%.2fx", warm[0].allocs/best.allocs))
+		}
+
+		// Wall 2: the allocation diet this refactor exists for. The gate
+		// binds the default (indexed) kernel; the scan kernel keeps its
+		// string-keyed maps on purpose, as an independent implementation
+		// for the differential walls, and is reported, not gated.
+		idx, ref := warm[2], warm[0]
+		if idx.allocs*2 > ref.allocs || idx.bytes*2 > ref.bytes {
+			return nil, fmt.Errorf(
+				"bucket %s: columnar indexed kernel missed the 2x allocation diet: %.0f allocs/op, %.0f B/op vs rowref %.0f allocs/op, %.0f B/op",
+				b.name, idx.allocs/n, idx.bytes/n, ref.allocs/n, ref.bytes/n)
+		}
+	}
+
+	if hwm, err := peakRSSKB(); err == nil {
+		out.Benchmarks = append(out.Benchmarks, benchEntry{
+			Name: "mem-peak-rss/suite", Ops: 1, Solved: 1, Workers: 1, Rounds: rounds,
+			BytesPerOp: float64(hwm) * 1024,
+			Notes:      fmt.Sprintf("process peak RSS (VmHWM) %d KB after the full mem suite", hwm),
+		})
+		t.Notes = append(t.Notes, fmt.Sprintf("process peak RSS (VmHWM): %d KB", hwm))
+	}
+	t.Notes = append(t.Notes,
+		"identical pre-computed minimum-width plans for all engines; warm = best of -rounds passes after a cold pass",
+		"rowref: the frozen pre-columnar executor ([]int-per-tuple storage, string map keys), measured live as the baseline",
+		"rows verified byte-identical (order included) across all three engines before anything is written",
+		"gate, enforced in-experiment: indexed warm allocs/op and bytes/op ≤ half of rowref, per bucket")
+
+	if jsonPath != "" {
+		if err := writeBenchJSON(jsonPath, out); err != nil {
+			return nil, err
+		}
+		t.Notes = append(t.Notes, "benchmark JSON written to "+jsonPath)
+	}
+	return t, nil
+}
+
+// memSample is one measured pass: wall time plus MemStats deltas.
+type memSample struct {
+	ns, allocs, bytes, pause float64
+}
+
+// columnarEval evaluates every instance with the given options,
+// returning the relations unmaterialised.
+func columnarEval(ctx context.Context, instances []execInstance, opts join.EvalOptions) func() (any, error) {
+	return func() (any, error) {
+		res := make([]*join.Relation, len(instances))
+		for i, in := range instances {
+			r, err := join.EvaluateCtx(ctx, in.q, in.db, in.d, opts)
+			if err != nil {
+				return nil, err
+			}
+			res[i] = r
+		}
+		return res, nil
+	}
+}
+
+func columnarRows(res any) [][][]int {
+	rels := res.([]*join.Relation)
+	rows := make([][][]int, len(rels))
+	for i, r := range rels {
+		rows[i] = r.Rows()
+	}
+	return rows
+}
+
+// measurePass runs one engine pass inside a MemStats window: forced GC
+// first (so earlier passes' garbage doesn't leak into the deltas),
+// then Mallocs / TotalAlloc / PauseTotalNs deltas around the run.
+func measurePass(run func() (any, error)) (memSample, any, error) {
+	var s memSample
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	res, err := run()
+	s.ns = float64(time.Since(start))
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return s, nil, err
+	}
+	s.allocs = float64(m1.Mallocs - m0.Mallocs)
+	s.bytes = float64(m1.TotalAlloc - m0.TotalAlloc)
+	s.pause = float64(m1.PauseTotalNs - m0.PauseTotalNs)
+	return s, res, nil
+}
+
+// peakRSSKB reads the process high-water RSS from /proc/self/status.
+func peakRSSKB() (int, error) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			break
+		}
+		return strconv.Atoi(fields[1])
+	}
+	return 0, fmt.Errorf("VmHWM not found in /proc/self/status")
+}
+
+func engineNote(name string) string {
+	return map[string]string{
+		"rowref":  "pre-columnar baseline: one heap []int per tuple, string-keyed hash maps, serial",
+		"scan":    "slice-scan kernel over columnar arena storage (string-keyed maps kept as the independent differential implementation)",
+		"indexed": "hash-indexed kernel over columnar arena storage: offset-range CSR indexes, open-addressing dedup, serial",
+	}[name]
+}

@@ -9,6 +9,12 @@
 //	htdserve -addr :8080 [-budget 8] [-max-concurrent 8] [-timeout 30s]
 //	         [-snapshot cache.json] [-store-shards 16]
 //	         [-tenant-rate 50] [-tenant-inflight 4] [-fair-share]
+//	         [-pprof-addr localhost:6060]
+//
+// Profiling: -pprof-addr exposes the standard net/http/pprof endpoints
+// (/debug/pprof/...) on a separate listener — off by default, and never
+// routed by the serving handler, so heap and CPU profiles are only
+// reachable where the operator points them (typically localhost).
 //
 // Multi-tenant admission: every request may carry an X-Tenant header
 // (absent = the default tenant). The -tenant-* flags arm a per-tenant
@@ -74,6 +80,7 @@ func main() {
 		fairShare      = flag.Bool("fair-share", true, "let unused per-tenant rate flow to a shared spare pool")
 		globalRate     = flag.Float64("global-rate", 0, "whole-server admissions per second feeding the fair-share pool (0 = sum of reserved rates only)")
 		maxBody        = flag.Int64("max-body", 0, "max bytes of one request body on single-shot endpoints (0 = 8 MiB)")
+		pprofAddr      = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -120,6 +127,24 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// The profiling listener is separate from the serving one: exposing
+	// heap and CPU profiles is an operator decision (-pprof-addr, e.g.
+	// bound to localhost), never a side effect of serving traffic.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pprofSrv = &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           pprofMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "htdserve: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "htdserve: pprof on %s\n", *pprofAddr)
+	}
+
 	// shutdown is the single exit path: drain in-flight HTTP requests,
 	// close the service, and persist the snapshot. Both the signal arm
 	// and the listener-error arm run it, so a crashed listener saves the
@@ -129,6 +154,11 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "htdserve: shutdown: %v\n", err)
+		}
+		if pprofSrv != nil {
+			if err := pprofSrv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "htdserve: pprof shutdown: %v\n", err)
+			}
 		}
 		svc.Close()
 		if *snapshot != "" {

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// pprofMux is the profiling surface behind -pprof-addr: the standard
+// net/http/pprof endpoints on their own mux, served from a separate
+// listener so profiling exposure is an explicit deployment decision —
+// the serving handler never routes /debug/pprof/, whatever the flag
+// says. Default (flag empty) is off.
+func pprofMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -608,7 +608,7 @@ func (s *server) runQuery(ctx context.Context, a queryAPIRequest, tenant string)
 	resp.RowCount = res.Rows.Size()
 	if !a.OmitRows {
 		resp.Vars = res.Rows.Attrs
-		resp.Rows = res.Rows.Tuples
+		resp.Rows = res.Rows.Rows()
 	}
 	return resp
 }

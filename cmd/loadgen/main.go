@@ -180,8 +180,10 @@ func formatRelations(db join.Database) string {
 	for _, name := range names {
 		rel := db[name]
 		fmt.Fprintf(&b, "rel %s(%s)\n", name, strings.Join(rel.Attrs, ","))
-		for _, t := range rel.Tuples {
-			for j, v := range t {
+		row := make([]int, 0, len(rel.Attrs))
+		for i := 0; i < rel.Size(); i++ {
+			row = rel.AppendRow(row[:0], i)
+			for j, v := range row {
 				if j > 0 {
 					b.WriteByte(' ')
 				}

@@ -231,14 +231,15 @@ func AggregateRows(rel *Relation, spec AggSpec) (AggResult, error) {
 	}
 	groups := map[string]*acc{}
 	kbuf := make([]byte, 0, 64)
-	for _, t := range rel.Tuples {
-		key := make([]int, len(gIdx))
-		for i, c := range gIdx {
-			key[i] = t[c]
-		}
-		kbuf = appendTupleKey(kbuf[:0], key, identity(len(key)))
+	dbuf := make([]byte, 0, 64)
+	for i := 0; i < rel.Size(); i++ {
+		kbuf = appendRowKey(kbuf[:0], rel, i, gIdx)
 		a := groups[string(kbuf)]
 		if a == nil {
+			key := make([]int, len(gIdx))
+			for k, c := range gIdx {
+				key[k] = rel.at(i, c)
+			}
 			a = &acc{key: key}
 			groups[string(kbuf)] = a
 		}
@@ -248,17 +249,17 @@ func AggregateRows(rel *Relation, spec AggSpec) (AggResult, error) {
 			if a.distinct == nil {
 				a.distinct = map[string]struct{}{}
 			}
-			dk := appendTupleKey(nil, t, overIdx)
-			a.distinct[string(dk)] = struct{}{}
+			dbuf = appendRowKey(dbuf[:0], rel, i, overIdx)
+			a.distinct[string(dbuf)] = struct{}{}
 		case AggSum:
-			a.val += int64(t[opIdx])
+			a.val += int64(rel.at(i, opIdx))
 			a.has = true
 		case AggMin:
-			if v := int64(t[opIdx]); !a.has || v < a.val {
+			if v := int64(rel.at(i, opIdx)); !a.has || v < a.val {
 				a.val, a.has = v, true
 			}
 		case AggMax:
-			if v := int64(t[opIdx]); !a.has || v > a.val {
+			if v := int64(rel.at(i, opIdx)); !a.has || v > a.val {
 				a.val, a.has = v, true
 			}
 		}
@@ -497,7 +498,7 @@ func (e *executor) aggNode(n *bagNode, spec AggSpec, watched []string, parent *R
 		state.cells[i] = map[string]aggCell{"": {count: 1}}
 	}
 	for ci, c := range n.children {
-		contrib, liftedVars, err := e.liftChild(n, c, childStates[ci], spec, watched)
+		contribIx, contrib, liftedVars, err := e.liftChild(n, c, childStates[ci], spec, watched)
 		if err != nil {
 			return aggState{}, err
 		}
@@ -524,14 +525,15 @@ func (e *executor) aggNode(n *bagNode, spec AggSpec, watched []string, parent *R
 		if err != nil {
 			return aggState{}, err
 		}
-		buf := make([]byte, 0, 8*len(nIdx))
 		kbuf := make([]byte, 0, 8*len(union))
-		for i, t := range n.rel.Tuples {
+		for i := 0; i < n.rel.Size(); i++ {
 			if err := e.g.poll(i); err != nil {
 				return aggState{}, err
 			}
-			buf = appendTupleKey(buf[:0], t, nIdx)
-			m := contrib[string(buf)]
+			var m map[string]aggCell
+			if b, ok := contribIx.lookupRow(n.rel, nIdx, i); ok {
+				m = contrib[b]
+			}
 			acc := state.cells[i]
 			next := make(map[string]aggCell, len(acc)*len(m))
 			for _, a := range acc {
@@ -546,7 +548,7 @@ func (e *executor) aggNode(n *bagNode, spec AggSpec, watched []string, parent *R
 						}
 					}
 					cell.key = key
-					kbuf = appendTupleKey(kbuf[:0], key, identity(len(key)))
+					kbuf = appendValsKey(kbuf[:0], key)
 					next[string(kbuf)] = cell
 				}
 			}
@@ -563,14 +565,16 @@ func (e *executor) aggNode(n *bagNode, spec AggSpec, watched []string, parent *R
 	return state, nil
 }
 
-// liftChild folds a child's per-tuple state into a per-join-key
-// contribution map for the parent's probe: each child tuple resolves
+// liftChild folds a child's per-tuple state into per-join-key
+// contribution maps for the parent's probe: each child tuple resolves
 // the watched variables (and the operand) that leave scope at this edge
 // — the variables in the child's bag but not the parent's — and
-// alternative child tuples with one lifted key sum. The result maps the
-// child's join key (shared attributes with the parent) to a keyed cell
-// map over liftedVars.
-func (e *executor) liftChild(n, c *bagNode, st aggState, spec AggSpec, watched []string) (map[string]map[string]aggCell, []string, error) {
+// alternative child tuples with one lifted key sum. The result is a
+// hash index of the child on the shared attributes plus one keyed cell
+// map (over liftedVars) per index bucket; the parent looks its join
+// key up in the index and reads the bucket's map — no join-key strings
+// are built on either side.
+func (e *executor) liftChild(n, c *bagNode, st aggState, spec AggSpec, watched []string) (*hashIndex, []map[string]aggCell, []string, error) {
 	parentHas := map[string]bool{}
 	for _, a := range n.rel.Attrs {
 		parentHas[a] = true
@@ -588,7 +592,7 @@ func (e *executor) liftChild(n, c *bagNode, st aggState, spec AggSpec, watched [
 	liftedVars := sortedUnion(st.vars, liftVars)
 	carried, cols, err := keySlots(liftedVars, st.vars, c.rel, liftVars)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	resolveOp := false
@@ -598,35 +602,33 @@ func (e *executor) liftChild(n, c *bagNode, st aggState, spec AggSpec, watched [
 		if childHas[spec.Var] && !parentHas[spec.Var] {
 			idx, err := c.rel.attrIndex([]string{spec.Var})
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			resolveOp, opCol = true, idx[0]
 		}
 	}
 
 	shared := sharedAttrs(c.rel, n.rel)
-	cIdx, err := c.rel.attrIndex(shared)
+	ix, err := e.index(c.rel, shared)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	e.indexBuilds.Add(1) // the contribution map is this edge's index
-	contrib := make(map[string]map[string]aggCell, c.rel.Size())
-	jbuf := make([]byte, 0, 8*len(cIdx))
+	contrib := make([]map[string]aggCell, len(ix.first))
 	kbuf := make([]byte, 0, 8*len(liftedVars))
-	for j, t := range c.rel.Tuples {
+	for j := 0; j < c.rel.Size(); j++ {
 		if err := e.g.poll(j); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		jbuf = appendTupleKey(jbuf[:0], t, cIdx)
-		m := contrib[string(jbuf)]
+		b := ix.bucketOf(j)
+		m := contrib[b]
 		if m == nil {
 			m = map[string]aggCell{}
-			contrib[string(jbuf)] = m
+			contrib[b] = m
 		}
 		for _, cell := range st.cells[j] {
 			lifted := cell
 			if resolveOp && !lifted.has {
-				v := int64(t[opCol])
+				v := int64(c.rel.at(j, opCol))
 				if spec.Kind == AggSum {
 					v *= lifted.count
 				}
@@ -637,16 +639,16 @@ func (e *executor) liftChild(n, c *bagNode, st aggState, spec AggSpec, watched [
 				if carried[k] >= 0 {
 					key[k] = cell.key[carried[k]]
 				} else {
-					key[k] = t[cols[k]]
+					key[k] = c.rel.at(j, cols[k])
 				}
 			}
 			lifted.key = key
-			kbuf = appendTupleKey(kbuf[:0], key, identity(len(key)))
+			kbuf = appendValsKey(kbuf[:0], key)
 			spec.addInto(m, string(kbuf), lifted)
 		}
 	}
 	e.indexProbes.Add(int64(c.rel.Size()))
-	return contrib, liftedVars, nil
+	return ix, contrib, liftedVars, nil
 }
 
 // aggFold resolves the watched variables still bound by the root bag,
@@ -684,14 +686,14 @@ func (e *executor) aggFold(root *bagNode, spec AggSpec, watched []string, st agg
 
 	global := map[string]aggCell{}
 	kbuf := make([]byte, 0, 8*len(watched))
-	for i, t := range root.rel.Tuples {
+	for i := 0; i < root.rel.Size(); i++ {
 		if err := e.g.poll(i); err != nil {
 			return AggResult{}, err
 		}
 		for _, cell := range st.cells[i] {
 			final := cell
 			if resolveOp && !final.has {
-				v := int64(t[opCol])
+				v := int64(root.rel.at(i, opCol))
 				if spec.Kind == AggSum {
 					v *= final.count
 				}
@@ -702,11 +704,11 @@ func (e *executor) aggFold(root *bagNode, spec AggSpec, watched []string, st agg
 				if carried[k] >= 0 {
 					key[k] = cell.key[carried[k]]
 				} else {
-					key[k] = t[cols[k]]
+					key[k] = root.rel.at(i, cols[k])
 				}
 			}
 			final.key = key
-			kbuf = appendTupleKey(kbuf[:0], key, identity(len(key)))
+			kbuf = appendValsKey(kbuf[:0], key)
 			spec.addInto(global, string(kbuf), final)
 		}
 		if err := e.g.checkRows(len(global)); err != nil {
@@ -728,7 +730,7 @@ func (e *executor) aggFold(root *bagNode, spec AggSpec, watched []string, st agg
 			for i, p := range gPos {
 				gk[i] = cell.key[p]
 			}
-			kbuf = appendTupleKey(kbuf[:0], gk, identity(len(gk)))
+			kbuf = appendValsKey(kbuf[:0], gk)
 			a := counts[string(kbuf)]
 			if a == nil {
 				counts[string(kbuf)] = &aggCell{key: gk, count: 1}

@@ -1,0 +1,308 @@
+package join
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Edge-case coverage for the columnar storage layer: empty and
+// single-column relations, rows that straddle chunk boundaries, the
+// int32→int64 promotion path, and abort semantics (row budget, ctx
+// cancellation) while a columnar join is mid-flight — the shapes where
+// an off-by-one in shift/mask addressing or a missed chunk append
+// would corrupt data silently.
+
+func TestArenaZeroRowRelation(t *testing.T) {
+	r := NewRelation("a", "b")
+	if r.Size() != 0 {
+		t.Fatalf("Size = %d, want 0", r.Size())
+	}
+	if rows := r.Rows(); rows != nil {
+		t.Fatalf("Rows() of an empty relation = %#v, want nil (the pre-columnar layout's nil tuple slice)", rows)
+	}
+	s := NewRelation("b", "c").Add(1, 2)
+
+	j, err := r.Join(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Size() != 0 {
+		t.Fatalf("empty ⋈ nonempty has %d rows", j.Size())
+	}
+	sj, err := s.Semijoin(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sj.Size() != 0 {
+		t.Fatalf("nonempty ⋉ empty has %d rows", sj.Size())
+	}
+	p, err := r.Project("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 0 || !reflect.DeepEqual(p.Attrs, []string{"b"}) {
+		t.Fatalf("projection of empty relation: %v", p)
+	}
+	if d := r.Dedup(); d.Size() != 0 {
+		t.Fatalf("dedup of empty relation has %d rows", d.Size())
+	}
+	r.SortRows() // must not panic on zero chunks
+}
+
+func TestArenaSingleAttribute(t *testing.T) {
+	r := NewRelation("x").Add(3).Add(1).Add(3).Add(2)
+	if got := r.Rows(); !reflect.DeepEqual(got, [][]int{{3}, {1}, {3}, {2}}) {
+		t.Fatalf("Rows = %v", got)
+	}
+	d := r.Dedup()
+	if got := d.Rows(); !reflect.DeepEqual(got, [][]int{{3}, {1}, {2}}) {
+		t.Fatalf("Dedup = %v", got)
+	}
+	s := NewRelation("x").Add(1).Add(2)
+	sj, err := r.Semijoin(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sj.Rows(); !reflect.DeepEqual(got, [][]int{{1}, {2}}) {
+		t.Fatalf("Semijoin = %v", got)
+	}
+}
+
+// TestArenaChunkBoundaryRows drives relations across one and several
+// chunk boundaries and checks every row round-trips, for sizes one
+// below, at, and one past each boundary.
+func TestArenaChunkBoundaryRows(t *testing.T) {
+	for _, n := range []int{chunkSize - 1, chunkSize, chunkSize + 1, 3*chunkSize - 1, 3 * chunkSize, 3*chunkSize + 1} {
+		r := NewRelation("a", "b")
+		for i := 0; i < n; i++ {
+			r.Add(i, -i)
+		}
+		if r.Size() != n {
+			t.Fatalf("n=%d: Size = %d", n, r.Size())
+		}
+		// Spot-check by offset addressing and by materialisation.
+		for _, i := range []int{0, n / 2, n - 2, n - 1} {
+			if i < 0 {
+				continue
+			}
+			if row := r.Row(i); row[0] != i || row[1] != -i {
+				t.Fatalf("n=%d: Row(%d) = %v", n, i, row)
+			}
+		}
+		rows := r.Rows()
+		for i, row := range rows {
+			if row[0] != i || row[1] != -i {
+				t.Fatalf("n=%d: Rows()[%d] = %v", n, i, row)
+			}
+		}
+	}
+}
+
+// TestArenaWidePromotion forces the int32→int64 promotion mid-column
+// — both mid-chunk and exactly at a chunk boundary — and checks the
+// already-written narrow values survive losslessly.
+func TestArenaWidePromotion(t *testing.T) {
+	big := int(math.MaxInt32) + 7
+	for _, at := range []int{1, chunkSize / 2, chunkSize, chunkSize + 1} {
+		r := NewRelation("v")
+		for i := 0; i < at; i++ {
+			r.Add(i)
+		}
+		r.Add(big).Add(-big).Add(math.MinInt32)
+		for i := 0; i < at; i++ {
+			if got := r.Row(i)[0]; got != i {
+				t.Fatalf("promote@%d: narrow value %d read back as %d", at, i, got)
+			}
+		}
+		tail := r.Rows()[at:]
+		if want := [][]int{{big}, {-big}, {math.MinInt32}}; !reflect.DeepEqual(tail, want) {
+			t.Fatalf("promote@%d: wide tail = %v, want %v", at, tail, want)
+		}
+	}
+}
+
+// TestArenaAppendAllWidths exercises the partition-concatenation path
+// (vec.extend) in all four width combinations, with the source large
+// enough to take the chunk-copy fast path.
+func TestArenaAppendAllWidths(t *testing.T) {
+	big := int(math.MaxInt32) + 1
+	mk := func(n int, wide bool) *Relation {
+		r := newRelation([]string{"a"})
+		for i := 0; i < n; i++ {
+			r.AddRow([]int{i})
+		}
+		if wide {
+			r.AddRow([]int{big})
+		}
+		return r
+	}
+	for _, tc := range []struct{ dstWide, srcWide bool }{
+		{false, false}, {false, true}, {true, false}, {true, true},
+	} {
+		dst := mk(chunkSize, tc.dstWide) // chunk-aligned when narrow
+		src := mk(chunkSize+5, tc.srcWide)
+		want := append(dst.Rows(), src.Rows()...)
+		dst.appendAll(src)
+		if got := dst.Rows(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("dstWide=%v srcWide=%v: appendAll diverged at size %d", tc.dstWide, tc.srcWide, len(got))
+		}
+	}
+}
+
+// TestArenaSortRowsChunkSpan checks canonicalisation over a relation
+// spanning several chunks against a reference sort of the
+// materialised rows.
+func TestArenaSortRowsChunkSpan(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	r := NewRelation("a", "b")
+	n := 2*chunkSize + 123
+	for i := 0; i < n; i++ {
+		r.Add(rng.Intn(100), rng.Intn(100))
+	}
+	want := r.Rows()
+	sort.Slice(want, func(i, j int) bool {
+		if want[i][0] != want[j][0] {
+			return want[i][0] < want[j][0]
+		}
+		return want[i][1] < want[j][1]
+	})
+	r.SortRows()
+	if got := r.Rows(); !reflect.DeepEqual(got, want) {
+		t.Fatal("SortRows diverged from reference sort across chunk boundaries")
+	}
+}
+
+// TestExecChunkBoundaryJoin runs a query whose final join output lands
+// exactly around a chunk boundary through every executor configuration
+// — the spot where a missed chunk append in the probe loop would panic
+// or drop rows.
+func TestExecChunkBoundaryJoin(t *testing.T) {
+	for _, rows := range []int{16, 17} { // 16³ = 4096 answers = exactly one chunk
+		q, db := explodingInstance(rows)
+		d := decomposeFor(t, q)
+		var want *Relation
+		for _, name := range []string{"scan", "indexed", "parallel", "parallel-tokens", "parallel-0tokens"} {
+			opts := execOptsMatrix()[name]
+			got, err := EvaluateCtx(context.Background(), q, db, d, opts)
+			if err != nil {
+				t.Fatalf("rows=%d %s: %v", rows, name, err)
+			}
+			if got.Size() != rows*rows*rows {
+				t.Fatalf("rows=%d %s: %d answers, want %d", rows, name, got.Size(), rows*rows*rows)
+			}
+			if want == nil {
+				want = got
+			} else if !reflect.DeepEqual(got.Rows(), want.Rows()) {
+				t.Fatalf("rows=%d %s: diverged from the scan kernel", rows, name)
+			}
+		}
+	}
+}
+
+// TestExecBudgetAbortAtChunkBoundary sets row budgets just below, at,
+// and above a chunk boundary: the columnar join must abort with
+// ErrRowBudget without leaking goroutines or tokens, whichever side of
+// a chunk append the abort lands on.
+func TestExecBudgetAbortAtChunkBoundary(t *testing.T) {
+	q, db := explodingInstance(300) // 90 000 answers
+	d := decomposeFor(t, q)
+	for _, budget := range []int{chunkSize - 1, chunkSize, chunkSize + 1} {
+		tok := newCountingTokens(3)
+		baseline := runtime.NumGoroutine()
+		_, err := EvaluateCtx(context.Background(), q, db, d, EvalOptions{
+			MaxRows: budget, Parallelism: 4, Tokens: tok,
+		})
+		if !errors.Is(err, ErrRowBudget) {
+			t.Fatalf("budget=%d: got %v, want ErrRowBudget", budget, err)
+		}
+		if n := tok.outstanding.Load(); n != 0 {
+			t.Fatalf("budget=%d: %d tokens still outstanding", budget, n)
+		}
+		leakCheck(t, baseline)
+	}
+}
+
+// TestExecCancelMidColumnarJoin cancels while the partitioned columnar
+// probe loops are writing into their per-partition arenas.
+func TestExecCancelMidColumnarJoin(t *testing.T) {
+	q, db := explodingInstance(600)
+	d := decomposeFor(t, q)
+	tok := newCountingTokens(3)
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	_, err := EvaluateCtx(ctx, q, db, d, EvalOptions{Parallelism: 4, Tokens: tok})
+	<-ctx.Done()
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled or nil", err)
+	}
+	if n := tok.outstanding.Load(); n != 0 {
+		t.Fatalf("%d tokens still outstanding after cancellation", n)
+	}
+	leakCheck(t, baseline)
+}
+
+// TestRowRefMatchesColumnarKernels is the pre-columnar differential:
+// the frozen row-layout executor must agree byte for byte — order
+// included — with every columnar configuration, on random instances
+// and on a chunk-spanning one.
+func TestRowRefMatchesColumnarKernels(t *testing.T) {
+	for seed := 0; seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		q, db := randomInstanceForExec(rng, 2+rng.Intn(3), 30, 12)
+		d := decomposeFor(t, q)
+		rdb := NewRowDatabase(db)
+		want, err := EvaluateRowRef(context.Background(), q, rdb, d, 0)
+		if err != nil {
+			t.Fatalf("seed %d rowref: %v", seed, err)
+		}
+		for name, opts := range execOptsMatrix() {
+			got, err := EvaluateCtx(context.Background(), q, db, d, opts)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			if !reflect.DeepEqual(got.Attrs, want.Attrs) {
+				t.Fatalf("seed %d %s: attrs %v, want %v", seed, name, got.Attrs, want.Attrs)
+			}
+			if !reflect.DeepEqual(got.Rows(), want.Tuples) {
+				t.Fatalf("seed %d %s: rows diverged from the pre-columnar reference (%d vs %d)",
+					seed, name, got.Size(), len(want.Tuples))
+			}
+		}
+	}
+	// One instance whose final join spans chunks.
+	q, db := explodingInstance(20) // 8000 answers, two chunks
+	d := decomposeFor(t, q)
+	want, err := EvaluateRowRef(context.Background(), q, NewRowDatabase(db), d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvaluateCtx(context.Background(), q, db, d, EvalOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows(), want.Tuples) {
+		t.Fatal("chunk-spanning answer diverged from the pre-columnar reference")
+	}
+}
+
+// TestRowRefBudget: the reference executor honours ErrRowBudget too,
+// so the mem experiment can sweep it with the same limits.
+func TestRowRefBudget(t *testing.T) {
+	q, db := explodingInstance(120)
+	d := decomposeFor(t, q)
+	_, err := EvaluateRowRef(context.Background(), q, NewRowDatabase(db), d, 100)
+	if !errors.Is(err, ErrRowBudget) {
+		t.Fatalf("got %v, want ErrRowBudget", err)
+	}
+}

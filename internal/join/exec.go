@@ -243,11 +243,10 @@ func (e *executor) semijoin(r, s *Relation) (*Relation, error) {
 	shared := sharedAttrs(r, s)
 	if len(shared) == 0 {
 		e.semijoins.Add(1)
-		out := NewRelation(r.Attrs...)
 		if s.Size() > 0 {
-			out.Tuples = append(out.Tuples, r.Tuples...)
+			return r.alias(), nil
 		}
-		return out, nil
+		return NewRelation(r.Attrs...), nil
 	}
 	ix, err := e.index(s, shared)
 	if err != nil {
@@ -267,17 +266,15 @@ func (e *executor) semijoinProbe(r *Relation, shared []string, ix *hashIndex) (*
 		return nil, err
 	}
 	out := NewRelation(r.Attrs...)
-	buf := make([]byte, 0, 8*len(rIdx))
-	for i, t := range r.Tuples {
+	for i := 0; i < r.Size(); i++ {
 		if err := e.g.poll(i); err != nil {
 			return nil, err
 		}
-		buf = appendTupleKey(buf[:0], t, rIdx)
-		if len(ix.probe(buf)) > 0 {
-			out.Tuples = append(out.Tuples, t)
+		if _, ok := ix.lookupRow(r, rIdx, i); ok {
+			out.appendFrom(r, i)
 		}
 	}
-	e.indexProbes.Add(int64(len(r.Tuples)))
+	e.indexProbes.Add(int64(r.Size()))
 	return out, nil
 }
 
@@ -306,80 +303,72 @@ func (e *executor) join(r, s *Relation) (*Relation, error) {
 	// whose bucket alone exceeds the budget must abort mid-bucket, not
 	// after materialising it.
 	var produced atomic.Int64
-	probeRange := func(lo, hi int) ([][]int, error) {
-		var rows [][]int
-		buf := make([]byte, 0, 8*len(rIdx))
+	probeRange := func(lo, hi int, part *Relation) error {
 		flushed := 0
 		flush := func() error {
-			if err := e.g.checkRows(int(produced.Add(int64(len(rows) - flushed)))); err != nil {
+			if err := e.g.checkRows(int(produced.Add(int64(part.n - flushed)))); err != nil {
 				return err
 			}
-			flushed = len(rows)
+			flushed = part.n
 			return e.g.ctx.Err()
 		}
 		for i := lo; i < hi; i++ {
 			if err := e.g.poll(i - lo); err != nil {
-				return nil, err
+				return err
 			}
-			buf = appendTupleKey(buf[:0], r.Tuples[i], rIdx)
-			for _, j := range ix.probe(buf) {
-				u := s.Tuples[j]
-				row := make([]int, 0, len(outAttrs))
-				row = append(row, r.Tuples[i]...)
-				for _, c := range sExtra {
-					row = append(row, u[c])
-				}
-				rows = append(rows, row)
-				if len(rows)-flushed >= pollEvery {
+			for _, j := range ix.probeRow(r, rIdx, i) {
+				part.appendJoined(r, i, s, int(j), sExtra)
+				if part.n-flushed >= pollEvery {
 					if err := flush(); err != nil {
-						return nil, err
+						return err
 					}
 				}
 			}
 		}
-		if len(rows) > flushed {
-			if err := flush(); err != nil {
-				return nil, err
-			}
+		if part.n > flushed {
+			return flush()
 		}
-		return rows, nil
+		return nil
 	}
 
-	out := NewRelation(outAttrs...)
-	e.indexProbes.Add(int64(len(r.Tuples)))
-	if e.sem != nil && len(r.Tuples) >= parallelJoinMinRows {
+	e.indexProbes.Add(int64(r.Size()))
+	if e.sem != nil && r.Size() >= parallelJoinMinRows {
 		chunks := cap(e.sem) + 1
-		if max := len(r.Tuples) / parallelJoinMinRows; chunks > max {
+		if max := r.Size() / parallelJoinMinRows; chunks > max {
 			chunks = max
 		}
-		size := (len(r.Tuples) + chunks - 1) / chunks
-		parts := make([][][]int, chunks)
+		size := (r.Size() + chunks - 1) / chunks
+		parts := make([]*Relation, chunks)
 		err := e.forEach(chunks, func(c int) error {
 			lo := c * size
 			hi := lo + size
-			if hi > len(r.Tuples) {
-				hi = len(r.Tuples)
+			if hi > r.Size() {
+				hi = r.Size()
 			}
-			rows, err := probeRange(lo, hi)
-			if err != nil {
+			// Each partition materialises into its own relation (own
+			// arena), so workers never contend on an allocator; the ordered
+			// concatenation below keeps partition order, hence
+			// byte-identity at any parallelism.
+			part := newRelation(outAttrs)
+			if err := probeRange(lo, hi, part); err != nil {
 				return err
 			}
-			parts[c] = rows
+			parts[c] = part
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
-		for _, p := range parts {
-			out.Tuples = append(out.Tuples, p...)
+		out := parts[0]
+		for _, p := range parts[1:] {
+			out.appendAll(p)
 		}
 		return out, nil
 	}
-	rows, err := probeRange(0, len(r.Tuples))
-	if err != nil {
+	out := newRelation(outAttrs)
+	if err := probeRange(0, r.Size(), out); err != nil {
 		return nil, err
 	}
-	out.Tuples = rows
 	return out, nil
 }
 

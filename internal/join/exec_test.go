@@ -146,7 +146,7 @@ func TestKernelsByteIdentical(t *testing.T) {
 			if !reflect.DeepEqual(got.Attrs, want.Attrs) {
 				t.Fatalf("seed %d %s: attrs %v, want %v", seed, name, got.Attrs, want.Attrs)
 			}
-			if !reflect.DeepEqual(got.Tuples, want.Tuples) {
+			if !reflect.DeepEqual(got.Rows(), want.Rows()) {
 				t.Fatalf("seed %d %s: tuple order diverged from the scan kernel (%d vs %d rows)",
 					seed, name, got.Size(), want.Size())
 			}
@@ -233,8 +233,8 @@ func TestExecSingleAtom(t *testing.T) {
 		}
 	}
 	// The database relation itself must stay untouched.
-	if want := [][]int{{1, 2}, {1, 2}, {3, 4}}; !reflect.DeepEqual(db["R"].Tuples, want) {
-		t.Fatalf("single-atom evaluation mutated the database: %v", db["R"].Tuples)
+	if want := [][]int{{1, 2}, {1, 2}, {3, 4}}; !reflect.DeepEqual(db["R"].Rows(), want) {
+		t.Fatalf("single-atom evaluation mutated the database: %v", db["R"].Rows())
 	}
 }
 
@@ -337,8 +337,8 @@ func TestDownPassIndexesParentOnce(t *testing.T) {
 		t.Fatalf("IndexBuilds = %d, want 1 (four children share the parent's index)", n)
 	}
 	for i, c := range parent.children {
-		if c.rel.Size() != 1 || c.rel.Tuples[0][0] != 1 {
-			t.Fatalf("child %d not reduced against the parent: %v", i, c.rel.Tuples)
+		if c.rel.Size() != 1 || c.rel.Row(0)[0] != 1 {
+			t.Fatalf("child %d not reduced against the parent: %v", i, c.rel.Rows())
 		}
 	}
 }

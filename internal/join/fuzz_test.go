@@ -52,7 +52,7 @@ func FuzzParseQuery(f *testing.F) {
 			t.Fatalf("accepted document with no atoms:\n%s", src)
 		}
 		for name, rel := range doc.DB {
-			for i, tup := range rel.Tuples {
+			for i, tup := range rel.Rows() {
 				if len(tup) != len(rel.Attrs) {
 					t.Fatalf("relation %q tuple %d has arity %d, schema %d", name, i, len(tup), len(rel.Attrs))
 				}
@@ -86,8 +86,8 @@ func FuzzParseQuery(f *testing.F) {
 			if !reflect.DeepEqual(rel.Attrs, rel2.Attrs) {
 				t.Fatalf("relation %q schema changed: %v vs %v", name, rel.Attrs, rel2.Attrs)
 			}
-			if rel.Size() != rel2.Size() || (rel.Size() > 0 && !reflect.DeepEqual(rel.Tuples, rel2.Tuples)) {
-				t.Fatalf("relation %q tuples changed:\n%v\nvs\n%v", name, rel.Tuples, rel2.Tuples)
+			if rel.Size() != rel2.Size() || (rel.Size() > 0 && !reflect.DeepEqual(rel.Rows(), rel2.Rows())) {
+				t.Fatalf("relation %q tuples changed:\n%v\nvs\n%v", name, rel.Rows(), rel2.Rows())
 			}
 		}
 		// Formatting is a fixed point: format(parse(format(d))) == format(d).

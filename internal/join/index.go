@@ -1,110 +1,187 @@
 package join
 
-// Build-once hash indexes over relations, the storage half of the
-// indexed Yannakakis executor (exec.go). An index maps the byte-encoded
-// key of a tuple's projection onto a column set — the shared variables
-// of one join-tree edge — to the positions of the matching tuples, so a
-// semijoin or join probes a map instead of re-scanning tuple slices.
+// Build-once hash indexes over columnar relations, the storage half of
+// the indexed Yannakakis executor (exec.go). An index groups a
+// relation's row offsets by their key on one column set — the shared
+// variables of one join-tree edge — in CSR form: probe a key, get back
+// an offset range into perm instead of a [][]int bucket.
 //
-// Keys are raw little-endian encodings of the key columns, not the
-// fmt-formatted strings of the legacy scan kernel (keyOf): encoding is
-// allocation-free on the probe side (the map lookup uses the string(buf)
-// no-copy form) and an order of magnitude cheaper per tuple.
+// There are no keys materialised anywhere: bucket assignment runs on
+// an open-addressing table that hashes column values directly and
+// resolves collisions by comparing values against a representative row
+// of the candidate bucket. Building an index therefore allocates a
+// handful of flat arrays, where the byte-string-keyed map of the
+// pre-columnar layout allocated one key string per distinct key — the
+// single biggest line item of the old kernel's allocation profile.
 
 // hashIndex is a build-once index of one relation on one column set.
 type hashIndex struct {
-	cols    []int // key column positions in the indexed relation
-	buckets map[string][]int32
+	r    *Relation
+	cols []int // key column positions in the indexed relation
+	// slots is the open-addressing table: bucket id + 1, 0 = empty.
+	slots []int32
+	mask  uint64
+	// first maps bucket id → a representative row, for key equality.
+	first []int32
+	// starts/perm are the CSR payload: bucket b's rows are
+	// perm[starts[b]:starts[b+1]], in the relation's row order.
+	starts []int32
+	perm   []int32
 }
 
-// appendTupleKey appends the little-endian encoding of the key columns
-// of t to dst and returns the extended buffer.
-func appendTupleKey(dst []byte, t []int, cols []int) []byte {
-	for _, c := range cols {
-		v := uint64(t[c])
-		dst = append(dst,
-			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
-			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+// tableSize returns the open-addressing table size for n keys: the
+// next power of two ≥ 2n, so load stays ≤ ~0.5 and probes short.
+func tableSize(n int) int {
+	size := 8
+	for size < 2*n {
+		size <<= 1
 	}
-	return dst
+	return size
 }
 
-// buildIndex indexes r on attrs. Bucket tuple positions keep r's tuple
+// rowsEqualOn reports whether row i of r equals row j of s on the
+// paired column sets.
+func rowsEqualOn(r *Relation, rCols []int, i int, s *Relation, sCols []int, j int) bool {
+	for k, c := range rCols {
+		if r.cols[c].at(i) != s.cols[sCols[k]].at(j) {
+			return false
+		}
+	}
+	return true
+}
+
+// buildIndex indexes r on attrs. Bucket row offsets keep r's row
 // order, so probes that emit matches bucket-by-bucket produce the same
-// row order as the legacy scan kernel. The guard's poll keeps a huge
-// build responsive to cancellation.
+// row order as the scan kernel's insertion-order buckets — the
+// byte-identity contract. The guard's poll keeps a huge build
+// responsive to cancellation.
 func buildIndex(r *Relation, attrs []string, g *guard) (*hashIndex, error) {
 	cols, err := r.attrIndex(attrs)
 	if err != nil {
 		return nil, err
 	}
+	size := tableSize(r.n)
 	ix := &hashIndex{
-		cols:    cols,
-		buckets: make(map[string][]int32, len(r.Tuples)),
+		r:     r,
+		cols:  cols,
+		slots: make([]int32, size),
+		mask:  uint64(size - 1),
 	}
-	buf := make([]byte, 0, 8*len(cols))
-	for i, t := range r.Tuples {
+	rowBucket := make([]int32, r.n)
+	for i := 0; i < r.n; i++ {
 		if err := g.poll(i); err != nil {
 			return nil, err
 		}
-		buf = appendTupleKey(buf[:0], t, cols)
-		ix.buckets[string(buf)] = append(ix.buckets[string(buf)], int32(i))
+		j := hashRow(r, cols, i) & ix.mask
+		for {
+			b := ix.slots[j]
+			if b == 0 {
+				b = int32(len(ix.first)) + 1
+				ix.slots[j] = b
+				ix.first = append(ix.first, int32(i))
+			} else if !rowsEqualOn(r, cols, int(ix.first[b-1]), r, cols, i) {
+				j = (j + 1) & ix.mask
+				continue
+			}
+			rowBucket[i] = b - 1
+			break
+		}
+	}
+	// CSR fill: counts → prefix sums → offsets in row order.
+	ix.starts = make([]int32, len(ix.first)+1)
+	for _, b := range rowBucket {
+		ix.starts[b+1]++
+	}
+	for b := 0; b < len(ix.first); b++ {
+		ix.starts[b+1] += ix.starts[b]
+	}
+	ix.perm = make([]int32, r.n)
+	cursor := append([]int32(nil), ix.starts[:len(ix.first)]...)
+	for i := 0; i < r.n; i++ {
+		b := rowBucket[i]
+		ix.perm[cursor[b]] = int32(i)
+		cursor[b]++
 	}
 	return ix, nil
 }
 
-// probe returns the positions of the indexed tuples matching the key in
-// buf (nil when none). The lookup does not retain buf.
-func (ix *hashIndex) probe(buf []byte) []int32 {
-	return ix.buckets[string(buf)]
-}
-
-// dedupFast removes duplicate tuples in place preserving first-occurrence
-// order, like Relation.Dedup but with byte keys instead of fmt-formatted
-// strings.
-func dedupFast(r *Relation, g *guard) (*Relation, error) {
-	cols := identity(len(r.Attrs))
-	seen := make(map[string]struct{}, len(r.Tuples))
-	buf := make([]byte, 0, 8*len(cols))
-	out := r.Tuples[:0]
-	for i, t := range r.Tuples {
-		if err := g.poll(i); err != nil {
-			return nil, err
+// lookupRow finds the bucket whose key equals row `row` of s on sCols.
+func (ix *hashIndex) lookupRow(s *Relation, sCols []int, row int) (int32, bool) {
+	j := hashRow(s, sCols, row) & ix.mask
+	for {
+		b := ix.slots[j]
+		if b == 0 {
+			return 0, false
 		}
-		buf = appendTupleKey(buf[:0], t, cols)
-		if _, dup := seen[string(buf)]; !dup {
-			seen[string(buf)] = struct{}{}
-			out = append(out, t)
+		if rowsEqualOn(ix.r, ix.cols, int(ix.first[b-1]), s, sCols, row) {
+			return b - 1, true
 		}
+		j = (j + 1) & ix.mask
 	}
-	r.Tuples = out
-	return r, nil
 }
 
-// projectFast is Relation.Project with byte-key deduplication and guard
-// polling; first-occurrence order is preserved, like the legacy path.
+// probeRow returns the offsets (into the indexed relation, in its row
+// order) whose key equals row `row` of s on sCols; nil when none.
+func (ix *hashIndex) probeRow(s *Relation, sCols []int, row int) []int32 {
+	b, ok := ix.lookupRow(s, sCols, row)
+	if !ok {
+		return nil
+	}
+	return ix.perm[ix.starts[b]:ix.starts[b+1]]
+}
+
+// bucketOf returns the bucket id of one of the indexed relation's own
+// rows (always present).
+func (ix *hashIndex) bucketOf(row int) int32 {
+	b, _ := ix.lookupRow(ix.r, ix.cols, row)
+	return b
+}
+
+// dedupFast removes duplicate tuples preserving first-occurrence
+// order, like Relation.Dedup but deduplicating on an open-addressing
+// seen-table (values compared against the rows already emitted) — no
+// key strings. The result is a fresh relation.
+func dedupFast(r *Relation, g *guard) (*Relation, error) {
+	return projectIdx(r, NewRelation(r.Attrs...), identCols(len(r.cols)), g)
+}
+
+// projectFast is Relation.Project with the same open-addressing
+// deduplication and guard polling; first-occurrence order is
+// preserved, like the scan path.
 func projectFast(r *Relation, attrs []string, g *guard) (*Relation, error) {
 	idx, err := r.attrIndex(attrs)
 	if err != nil {
 		return nil, err
 	}
-	out := NewRelation(attrs...)
-	seen := make(map[string]struct{}, len(r.Tuples))
-	buf := make([]byte, 0, 8*len(idx))
-	for i, t := range r.Tuples {
+	return projectIdx(r, NewRelation(attrs...), idx, g)
+}
+
+// projectIdx emits the distinct projections of r onto columns idx into
+// out (whose schema is aligned with idx). Candidate rows dedupe
+// against already-emitted output rows via an open-addressing table of
+// output offsets, so the loop allocates nothing per row.
+func projectIdx(r *Relation, out *Relation, idx []int, g *guard) (*Relation, error) {
+	size := tableSize(r.n)
+	slots := make([]int32, size)
+	mask := uint64(size - 1)
+	outCols := identCols(len(idx))
+	for i := 0; i < r.n; i++ {
 		if err := g.poll(i); err != nil {
 			return nil, err
 		}
-		buf = appendTupleKey(buf[:0], t, idx)
-		if _, dup := seen[string(buf)]; dup {
-			continue
+		j := hashRow(r, idx, i) & mask
+		for {
+			o := slots[j]
+			if o == 0 {
+				slots[j] = int32(out.n) + 1
+				out.appendProjected(r, i, idx)
+				break
+			}
+			if rowsEqualOn(out, outCols, int(o-1), r, idx, i) {
+				break
+			}
+			j = (j + 1) & mask
 		}
-		seen[string(buf)] = struct{}{}
-		row := make([]int, len(idx))
-		for j, c := range idx {
-			row[j] = t[c]
-		}
-		out.Tuples = append(out.Tuples, row)
 	}
 	return out, nil
 }

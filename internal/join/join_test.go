@@ -364,7 +364,7 @@ func TestEvaluateNaiveSingleAtomDoesNotMutateDB(t *testing.T) {
 	if out.Size() != 2 {
 		t.Fatalf("deduped result size = %d, want 2", out.Size())
 	}
-	if want := [][]int{{1}, {1}, {2}}; !reflect.DeepEqual(db["R"].Tuples, want) {
-		t.Fatalf("EvaluateNaive mutated the database relation: %v, want %v", db["R"].Tuples, want)
+	if want := [][]int{{1}, {1}, {2}}; !reflect.DeepEqual(db["R"].Rows(), want) {
+		t.Fatalf("EvaluateNaive mutated the database relation: %v, want %v", db["R"].Rows(), want)
 	}
 }

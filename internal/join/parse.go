@@ -399,6 +399,7 @@ func parseRelHeader(s string) (string, *Relation, error) {
 // parseTuples reads integer tuple lines into rel until the closing
 // `end`, returning the index of that line.
 func parseTuples(rel *Relation, lines []string, start int) (int, error) {
+	vals := make([]int, len(rel.Attrs))
 	for i := start; i < len(lines); i++ {
 		line := strings.TrimSpace(lines[i])
 		if line == "" || strings.HasPrefix(line, "%") {
@@ -412,15 +413,14 @@ func parseTuples(rel *Relation, lines []string, start int) (int, error) {
 			return 0, fmt.Errorf("join: line %d: tuple has %d values, relation has %d columns",
 				i+1, len(fields), len(rel.Attrs))
 		}
-		tuple := make([]int, len(fields))
 		for j, f := range fields {
 			v, err := strconv.Atoi(f)
 			if err != nil {
 				return 0, fmt.Errorf("join: line %d: value %q is not an integer", i+1, f)
 			}
-			tuple[j] = v
+			vals[j] = v
 		}
-		rel.Tuples = append(rel.Tuples, tuple)
+		rel.AddRow(vals)
 	}
 	return 0, fmt.Errorf("join: relation block starting at line %d is not closed with end", start)
 }
@@ -446,8 +446,10 @@ func FormatDocument(doc Document) string {
 	for _, name := range names {
 		rel := doc.DB[name]
 		fmt.Fprintf(&b, "rel %s(%s)\n", name, strings.Join(rel.Attrs, ","))
-		for _, t := range rel.Tuples {
-			for j, v := range t {
+		row := make([]int, 0, len(rel.Attrs))
+		for i := 0; i < rel.Size(); i++ {
+			row = rel.AppendRow(row[:0], i)
+			for j, v := range row {
 				if j > 0 {
 					b.WriteByte(' ')
 				}

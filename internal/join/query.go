@@ -58,9 +58,9 @@ func atomRelation(db Database, a Atom) (*Relation, error) {
 		}
 		seen[v] = true
 	}
-	out := NewRelation(a.Vars...)
-	out.Tuples = base.Tuples // shared storage; relations are read-only here
-	return out, nil
+	// Shared column storage under the query's variable names; safe
+	// because operators never mutate an input relation.
+	return base.renamed(append([]string(nil), a.Vars...)), nil
 }
 
 // EvaluateNaive joins all atoms left to right — exponential in general,
@@ -83,11 +83,7 @@ func EvaluateNaive(q Query, db Database) (*Relation, error) {
 			return nil, err
 		}
 	}
-	if len(q.Atoms) == 1 {
-		// acc still shares tuple storage with the database relation
-		// (atomRelation aliases it); Dedup compacts in place, so give it
-		// its own slice rather than corrupting the caller's data.
-		acc = &Relation{Attrs: acc.Attrs, Tuples: append([][]int(nil), acc.Tuples...)}
-	}
+	// acc may share storage with a database relation (atomRelation
+	// aliases it); Dedup builds a fresh relation, so that is safe.
 	return acc.Dedup(), nil
 }

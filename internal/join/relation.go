@@ -6,100 +6,247 @@ import (
 	"strings"
 )
 
-// Relation is a set of tuples over named attributes. Values are ints
-// (dictionary-encode externally if needed). Tuples are not deduplicated
-// on construction; operations that could produce duplicates dedupe.
+// Relation is a set of tuples over named attributes, stored
+// column-major: each attribute is a vec of chunked int32/int64 values
+// carved from the relation's arena (arena.go). A tuple is a row
+// offset; operators and indexes pass offsets around and read values
+// with at(), so an intermediate relation costs a handful of slab
+// allocations rather than one slice header per tuple, and frees as one
+// unit. Values are ints (dictionary-encode externally if needed).
+// Tuples are not deduplicated on construction; operations that could
+// produce duplicates dedupe.
+//
+// Relations are append-only while being built and immutable once an
+// operator has consumed them — no operator mutates an input — which is
+// what makes the O(1) storage-sharing views (alias, renamed) safe.
 type Relation struct {
-	Attrs  []string
-	Tuples [][]int
+	Attrs []string
+	// pos maps attribute → column position, built once at construction
+	// and reused by every operation (the pre-columnar attrIndex re-ran
+	// an O(attrs²) scan per semijoin instead).
+	pos  map[string]int
+	cols []vec
+	n    int
+	mem  *arena
 }
 
-// NewRelation returns a relation with the given attribute names.
+// NewRelation returns an empty relation with the given attribute names.
 func NewRelation(attrs ...string) *Relation {
-	return &Relation{Attrs: append([]string(nil), attrs...)}
+	return newRelation(append([]string(nil), attrs...))
+}
+
+// newRelation builds an empty relation taking ownership of attrs.
+func newRelation(attrs []string) *Relation {
+	r := &Relation{
+		Attrs: attrs,
+		pos:   make(map[string]int, len(attrs)),
+		cols:  make([]vec, len(attrs)),
+		mem:   &arena{},
+	}
+	for i, a := range attrs {
+		r.pos[a] = i
+	}
+	return r
 }
 
 // Add appends a tuple; the value count must match the attribute count.
 func (r *Relation) Add(values ...int) *Relation {
+	return r.AddRow(values)
+}
+
+// AddRow is Add without the varargs copy; values is not retained.
+func (r *Relation) AddRow(values []int) *Relation {
 	if len(values) != len(r.Attrs) {
 		panic(fmt.Sprintf("join: tuple arity %d != attrs %d", len(values), len(r.Attrs)))
 	}
-	r.Tuples = append(r.Tuples, append([]int(nil), values...))
+	for c, v := range values {
+		r.cols[c].push(r.mem, r.n, v)
+	}
+	r.n++
 	return r
 }
 
 // Size returns the number of tuples.
-func (r *Relation) Size() int { return len(r.Tuples) }
+func (r *Relation) Size() int { return r.n }
+
+// at returns column c of row i.
+func (r *Relation) at(i, c int) int { return r.cols[c].at(i) }
+
+// Row materialises row i as a fresh slice.
+func (r *Relation) Row(i int) []int {
+	return r.AppendRow(make([]int, 0, len(r.cols)), i)
+}
+
+// AppendRow appends row i's values to dst and returns it.
+func (r *Relation) AppendRow(dst []int, i int) []int {
+	for c := range r.cols {
+		dst = append(dst, r.cols[c].at(i))
+	}
+	return dst
+}
+
+// Rows materialises every row in order — the boundary format for
+// callers leaving the columnar world (HTTP responses, test diffs).
+func (r *Relation) Rows() [][]int {
+	if r.n == 0 {
+		// nil, not an empty slice: the pre-columnar layout's empty
+		// relation had a nil tuple slice, and both the JSON wire format
+		// and reflect.DeepEqual tell the two apart.
+		return nil
+	}
+	out := make([][]int, r.n)
+	flat := make([]int, r.n*len(r.cols))
+	w := len(r.cols)
+	for i := range out {
+		out[i] = r.AppendRow(flat[i*w:i*w:(i+1)*w], i)
+	}
+	return out
+}
+
+// alias returns an O(1) view sharing r's storage, safe because
+// relations are immutable once consumed.
+func (r *Relation) alias() *Relation {
+	cp := *r
+	return &cp
+}
+
+// renamed returns a view of r's rows under new attribute names —
+// shared storage, fresh schema (atomRelation's column renaming).
+func (r *Relation) renamed(attrs []string) *Relation {
+	out := &Relation{
+		Attrs: attrs,
+		pos:   make(map[string]int, len(attrs)),
+		cols:  r.cols,
+		n:     r.n,
+		mem:   r.mem,
+	}
+	for i, a := range attrs {
+		out.pos[a] = i
+	}
+	return out
+}
+
+// appendFrom appends row i of src (same schema) to r.
+func (r *Relation) appendFrom(src *Relation, i int) {
+	for c := range r.cols {
+		r.cols[c].push(r.mem, r.n, src.cols[c].at(i))
+	}
+	r.n++
+}
+
+// appendProjected appends row i of src projected onto src columns idx
+// (r's schema is attrs aligned with idx).
+func (r *Relation) appendProjected(src *Relation, i int, idx []int) {
+	for k, c := range idx {
+		r.cols[k].push(r.mem, r.n, src.cols[c].at(i))
+	}
+	r.n++
+}
+
+// appendJoined appends the join row of r-side row i and s's sExtra
+// columns of row j — the output layout joinSchema defines.
+func (out *Relation) appendJoined(r *Relation, i int, s *Relation, j int, sExtra []int) {
+	c := 0
+	for rc := range r.cols {
+		out.cols[c].push(out.mem, out.n, r.cols[rc].at(i))
+		c++
+	}
+	for _, sc := range sExtra {
+		out.cols[c].push(out.mem, out.n, s.cols[sc].at(j))
+		c++
+	}
+	out.n++
+}
+
+// appendAll concatenates src (same schema) onto r — the ordered merge
+// of parallel join partitions.
+func (r *Relation) appendAll(src *Relation) {
+	for c := range r.cols {
+		r.cols[c].extend(r.mem, r.n, &src.cols[c], src.n)
+	}
+	r.n += src.n
+}
 
 // attrIndex returns the position of each requested attribute.
 func (r *Relation) attrIndex(attrs []string) ([]int, error) {
 	idx := make([]int, len(attrs))
 	for i, a := range attrs {
-		pos := -1
-		for j, b := range r.Attrs {
-			if a == b {
-				pos = j
-				break
-			}
-		}
-		if pos < 0 {
+		p, ok := r.pos[a]
+		if !ok {
 			return nil, fmt.Errorf("join: attribute %q not in relation %v", a, r.Attrs)
 		}
-		idx[i] = pos
+		idx[i] = p
 	}
 	return idx, nil
+}
+
+// identCols returns [0, 1, …, n-1]: every column, in order.
+func identCols(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
 }
 
 // sharedAttrs returns the attributes common to r and s (in r's order).
 func sharedAttrs(r, s *Relation) []string {
 	var out []string
 	for _, a := range r.Attrs {
-		for _, b := range s.Attrs {
-			if a == b {
-				out = append(out, a)
-				break
-			}
+		if _, ok := s.pos[a]; ok {
+			out = append(out, a)
 		}
 	}
 	return out
 }
 
-func keyOf(tuple []int, idx []int) string {
-	var b strings.Builder
-	for _, i := range idx {
-		fmt.Fprintf(&b, "%d|", tuple[i])
+// appendRowKey appends the little-endian encoding of the key columns
+// of row i to dst — the single no-copy key encoder behind every
+// string-keyed map left in the package (scan-kernel buckets, aggregate
+// cell maps); lookups use the string(buf) no-copy form. The
+// open-addressing tables of index.go compare column values directly
+// and need no keys at all.
+func appendRowKey(dst []byte, r *Relation, i int, cols []int) []byte {
+	for _, c := range cols {
+		dst = appendKeyVal(dst, uint64(r.cols[c].at(i)))
 	}
-	return b.String()
+	return dst
 }
 
-// Project returns the projection onto attrs, with duplicates removed.
+// appendValsKey encodes an already-materialised value tuple with the
+// same encoding as appendRowKey.
+func appendValsKey(dst []byte, vals []int) []byte {
+	for _, v := range vals {
+		dst = appendKeyVal(dst, uint64(v))
+	}
+	return dst
+}
+
+func appendKeyVal(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// Project returns the projection onto attrs, with duplicates removed
+// (first occurrence wins).
 func (r *Relation) Project(attrs ...string) (*Relation, error) {
 	idx, err := r.attrIndex(attrs)
 	if err != nil {
 		return nil, err
 	}
 	out := NewRelation(attrs...)
-	seen := map[string]bool{}
-	for _, t := range r.Tuples {
-		row := make([]int, len(idx))
-		for i, j := range idx {
-			row[i] = t[j]
+	seen := make(map[string]struct{}, r.n)
+	buf := make([]byte, 0, 8*len(idx))
+	for i := 0; i < r.n; i++ {
+		buf = appendRowKey(buf[:0], r, i, idx)
+		if _, dup := seen[string(buf)]; dup {
+			continue
 		}
-		k := keyOf(row, identity(len(row)))
-		if !seen[k] {
-			seen[k] = true
-			out.Tuples = append(out.Tuples, row)
-		}
+		seen[string(buf)] = struct{}{}
+		out.appendProjected(r, i, idx)
 	}
 	return out, nil
-}
-
-func identity(n int) []int {
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	return idx
 }
 
 // Semijoin returns the tuples of r that join with at least one tuple of
@@ -108,12 +255,11 @@ func identity(n int) []int {
 // (consistent with r ⋉ s = π_r(r ⋈ s)).
 func (r *Relation) Semijoin(s *Relation) (*Relation, error) {
 	shared := sharedAttrs(r, s)
-	out := NewRelation(r.Attrs...)
 	if len(shared) == 0 {
 		if s.Size() > 0 {
-			out.Tuples = append(out.Tuples, r.Tuples...)
+			return r.alias(), nil
 		}
-		return out, nil
+		return NewRelation(r.Attrs...), nil
 	}
 	rIdx, err := r.attrIndex(shared)
 	if err != nil {
@@ -123,13 +269,17 @@ func (r *Relation) Semijoin(s *Relation) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	keys := make(map[string]bool, s.Size())
-	for _, t := range s.Tuples {
-		keys[keyOf(t, sIdx)] = true
+	keys := make(map[string]struct{}, s.n)
+	buf := make([]byte, 0, 8*len(shared))
+	for j := 0; j < s.n; j++ {
+		buf = appendRowKey(buf[:0], s, j, sIdx)
+		keys[string(buf)] = struct{}{}
 	}
-	for _, t := range r.Tuples {
-		if keys[keyOf(t, rIdx)] {
-			out.Tuples = append(out.Tuples, t)
+	out := NewRelation(r.Attrs...)
+	for i := 0; i < r.n; i++ {
+		buf = appendRowKey(buf[:0], r, i, rIdx)
+		if _, ok := keys[string(buf)]; ok {
+			out.appendFrom(r, i)
 		}
 	}
 	return out, nil
@@ -158,7 +308,11 @@ func joinSchema(r, s *Relation, shared []string) (outAttrs []string, sExtra []in
 	return outAttrs, sExtra
 }
 
-// Join returns the natural join r ⋈ s.
+// Join returns the natural join r ⋈ s: a hash join bucketing s by its
+// shared-key encoding, probe tuples in r order, matches in s insertion
+// order. This is the scan kernel's join, deliberately implemented on
+// string-keyed buckets as an independent cross-check of the
+// open-addressing indexed kernel (index.go).
 func (r *Relation) Join(s *Relation) (*Relation, error) {
 	shared := sharedAttrs(r, s)
 	rIdx, err := r.attrIndex(shared)
@@ -170,47 +324,45 @@ func (r *Relation) Join(s *Relation) (*Relation, error) {
 		return nil, err
 	}
 	outAttrs, sExtra := joinSchema(r, s, shared)
-	out := NewRelation(outAttrs...)
-	// Hash join on the shared key.
-	buckets := map[string][][]int{}
-	for _, t := range s.Tuples {
-		k := keyOf(t, sIdx)
-		buckets[k] = append(buckets[k], t)
+	out := newRelation(outAttrs)
+	buckets := make(map[string][]int32, s.n)
+	buf := make([]byte, 0, 8*len(shared))
+	for j := 0; j < s.n; j++ {
+		buf = appendRowKey(buf[:0], s, j, sIdx)
+		buckets[string(buf)] = append(buckets[string(buf)], int32(j))
 	}
-	for _, t := range r.Tuples {
-		for _, u := range buckets[keyOf(t, rIdx)] {
-			row := make([]int, 0, len(outAttrs))
-			row = append(row, t...)
-			for _, j := range sExtra {
-				row = append(row, u[j])
-			}
-			out.Tuples = append(out.Tuples, row)
+	for i := 0; i < r.n; i++ {
+		buf = appendRowKey(buf[:0], r, i, rIdx)
+		for _, j := range buckets[string(buf)] {
+			out.appendJoined(r, i, s, int(j), sExtra)
 		}
 	}
 	return out, nil
 }
 
-// Dedup removes duplicate tuples in place and returns r.
+// Dedup returns r with duplicate tuples removed, preserving
+// first-occurrence order. The result is a fresh relation — inputs stay
+// immutable — so callers must use the return value.
 func (r *Relation) Dedup() *Relation {
-	seen := map[string]bool{}
-	idx := identity(len(r.Attrs))
-	out := r.Tuples[:0]
-	for _, t := range r.Tuples {
-		k := keyOf(t, idx)
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, t)
+	cols := identCols(len(r.cols))
+	out := NewRelation(r.Attrs...)
+	seen := make(map[string]struct{}, r.n)
+	buf := make([]byte, 0, 8*len(cols))
+	for i := 0; i < r.n; i++ {
+		buf = appendRowKey(buf[:0], r, i, cols)
+		if _, dup := seen[string(buf)]; dup {
+			continue
 		}
+		seen[string(buf)] = struct{}{}
+		out.appendFrom(r, i)
 	}
-	r.Tuples = out
-	return r
+	return out
 }
 
 // Sorted returns the tuples in deterministic lexicographic order (for
 // test comparisons).
 func (r *Relation) Sorted() [][]int {
-	out := make([][]int, len(r.Tuples))
-	copy(out, r.Tuples)
+	out := r.Rows()
 	sort.Slice(out, func(i, j int) bool {
 		for k := range out[i] {
 			if out[i][k] != out[j][k] {
@@ -220,6 +372,37 @@ func (r *Relation) Sorted() [][]int {
 		return false
 	})
 	return out
+}
+
+// SortRows reorders the rows into lexicographic order, rebuilding the
+// columns — the canonicalisation step of the query layer. The sort
+// permutes row offsets first, then moves each value exactly once; the
+// sorted rows are value-for-value the same tuples, which is why
+// canonical forms stay byte-identical across storage layouts.
+func (r *Relation) SortRows() {
+	ord := make([]int32, r.n)
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		i, j := int(ord[a]), int(ord[b])
+		for c := range r.cols {
+			vi, vj := r.cols[c].at(i), r.cols[c].at(j)
+			if vi != vj {
+				return vi < vj
+			}
+		}
+		return false
+	})
+	mem := &arena{}
+	cols := make([]vec, len(r.cols))
+	for c := range r.cols {
+		src := &r.cols[c]
+		for k, i := range ord {
+			cols[c].push(mem, k, src.at(int(i)))
+		}
+	}
+	r.cols, r.mem = cols, mem
 }
 
 // String renders the relation for debugging.

@@ -328,7 +328,7 @@ func Canonical(rel *join.Relation) (*join.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	out.Tuples = out.Sorted()
+	out.SortRows()
 	return out, nil
 }
 

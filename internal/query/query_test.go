@@ -81,7 +81,7 @@ func TestDifferentialRandomQueries(t *testing.T) {
 				t.Errorf("seed %d: attrs %v, naive %v", seed, res.Rows.Attrs, want.Attrs)
 				return
 			}
-			if !reflect.DeepEqual(res.Rows.Tuples, want.Tuples) {
+			if !reflect.DeepEqual(res.Rows.Rows(), want.Rows()) {
 				t.Errorf("seed %d: HD plan returned %d rows, naive %d rows\nquery: %s",
 					seed, res.Rows.Size(), want.Size(), join.FormatQuery(q))
 				return
@@ -99,7 +99,7 @@ func TestDifferentialRandomQueries(t *testing.T) {
 				errs <- err
 				return
 			}
-			if !reflect.DeepEqual(again.Rows.Tuples, res.Rows.Tuples) {
+			if !reflect.DeepEqual(again.Rows.Rows(), res.Rows.Rows()) {
 				t.Errorf("seed %d: repeat query (parallelism %d vs %d) returned different rows",
 					seed, 4-par, par)
 			}
@@ -313,7 +313,7 @@ func TestConcurrentIdenticalQueries(t *testing.T) {
 		if errsArr[i] != nil {
 			t.Fatalf("query %d: %v", i, errsArr[i])
 		}
-		if !reflect.DeepEqual(results[i].Rows.Tuples, want.Tuples) {
+		if !reflect.DeepEqual(results[i].Rows.Rows(), want.Rows()) {
 			t.Fatalf("query %d disagrees with the naive baseline", i)
 		}
 	}

@@ -1,0 +1,70 @@
+#!/usr/bin/env sh
+# capture_pprof.sh — memory-diet profile capture.
+#
+# Boots a real htdserve with the -pprof-addr listener enabled, warms it
+# up, then captures heap, allocs, goroutine, and CPU profiles from the
+# profiling endpoint while loadgen drives steady query traffic — so the
+# CPU profile shows the executor under load, not an idle accept loop.
+# Profiles land in the directory given as $1 (default /tmp/htd-pprof);
+# nightly CI uploads that directory as an artifact, giving every night
+# a browsable `go tool pprof` snapshot of the columnar executor.
+#
+# Usage: scripts/capture_pprof.sh [outdir]
+set -eu
+
+OUT="${1:-/tmp/htd-pprof}"
+ADDR="127.0.0.1:18232"
+PPROF_ADDR="127.0.0.1:18233"
+URL="http://$ADDR"
+PPROF_URL="http://$PPROF_ADDR"
+# CPU profile window; the load run lasts slightly longer so the whole
+# window sees traffic.
+SECONDS_CPU="${PPROF_SECONDS:-10}"
+
+mkdir -p "$OUT"
+BIN="$(mktemp -d)"
+trap 'kill "$SRV_PID" 2>/dev/null || true; wait "$SRV_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+
+echo "capture_pprof: building htdserve and loadgen"
+go build -o "$BIN/htdserve" ./cmd/htdserve
+go build -o "$BIN/loadgen" ./cmd/loadgen
+
+echo "capture_pprof: starting htdserve on $ADDR (pprof on $PPROF_ADDR)"
+"$BIN/htdserve" -addr "$ADDR" -pprof-addr "$PPROF_ADDR" >/dev/null 2>&1 &
+SRV_PID=$!
+
+echo "capture_pprof: waiting for /healthz"
+i=0
+until curl -sf "$URL/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 150 ]; then
+    echo "capture_pprof: FAIL: server did not become healthy" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# Drive steady traffic in the background for the whole capture window.
+LOAD_SECONDS=$((SECONDS_CPU + 5))
+echo "capture_pprof: driving load for ${LOAD_SECONDS}s"
+"$BIN/loadgen" -url "$URL" -duration "${LOAD_SECONDS}s" \
+  -tenant "profile:50:uniform" -out "$OUT/load.json" >/dev/null 2>&1 &
+LOAD_PID=$!
+
+sleep 2 # let traffic ramp before the snapshots
+echo "capture_pprof: capturing profiles into $OUT"
+curl -sf "$PPROF_URL/debug/pprof/heap" -o "$OUT/heap.pb.gz"
+curl -sf "$PPROF_URL/debug/pprof/allocs" -o "$OUT/allocs.pb.gz"
+curl -sf "$PPROF_URL/debug/pprof/goroutine" -o "$OUT/goroutine.pb.gz"
+curl -sf "$PPROF_URL/debug/pprof/profile?seconds=$SECONDS_CPU" -o "$OUT/cpu.pb.gz"
+
+wait "$LOAD_PID" 2>/dev/null || true
+
+# A capture that produced empty files is a broken capture.
+for f in heap allocs goroutine cpu; do
+  if [ ! -s "$OUT/$f.pb.gz" ]; then
+    echo "capture_pprof: FAIL: $f profile is empty" >&2
+    exit 1
+  fi
+done
+echo "capture_pprof: PASS (profiles in $OUT: heap, allocs, goroutine, cpu@${SECONDS_CPU}s)"
