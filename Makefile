@@ -13,8 +13,12 @@ LOAD_JSON ?= BENCH_PR7.json
 # Memory-diet artifact produced by `make bench-mem` and gated by
 # `make bench-mem-gate` (the columnar-storage PR's baseline).
 BENCH_MEM_JSON ?= BENCH_PR8.json
+# Disk-store persistence artifact produced by `make bench-persist` and
+# gated by `make bench-persist-gate` (the disk-backed store tier PR's
+# baseline: cold solve+append vs warm restart with zero solver runs).
+BENCH_PERSIST_JSON ?= BENCH_PR9.json
 
-.PHONY: all build fmt fmt-check vet lint test race bench bench-exec bench-agg bench-gate bench-mem bench-mem-gate pprof-capture load-gate stress differential fuzz fuzz-long docs-check serve ci
+.PHONY: all build fmt fmt-check vet lint test race bench bench-exec bench-agg bench-gate bench-mem bench-mem-gate bench-persist bench-persist-gate crash-recovery warm-restart pprof-capture load-gate stress differential fuzz fuzz-long docs-check serve ci
 
 all: build
 
@@ -89,6 +93,42 @@ bench-mem-gate:
 		-compare $(BENCH_MEM_JSON) -tolerance 0.25 \
 		-gate mem-indexed/ -calibrate mem-rowref/ -quiet
 
+# This PR's benchmark: the disk-backed store tier — cold solve+append
+# traffic (fsync every append) vs a same-process warm pass vs a full
+# service reopen on the same directory, with zero solver runs enforced
+# on the reopened service inside the experiment. Writes
+# $(BENCH_PERSIST_JSON).
+bench-persist:
+	$(GO) run ./cmd/benchtab -experiment persist -benchjson $(BENCH_PERSIST_JSON) -quiet
+
+# The persistence gate CI runs on every PR: a fresh persist run must
+# not regress the warm or reopen suite aggregates >50% against the
+# committed $(BENCH_PERSIST_JSON); the cold entries calibrate out
+# machine speed. (The warm/reopen passes are sub-millisecond, hence
+# the wider tolerance than the other gates; the hard zero-solver-runs
+# wall is enforced inside the experiment itself, not by the ratio.)
+bench-persist-gate:
+	$(GO) run ./cmd/benchtab -experiment persist \
+		-benchjson /tmp/BENCH_persist_fresh.json \
+		-compare $(BENCH_PERSIST_JSON) -tolerance 0.50 \
+		-gate persist-warm/suite,persist-reopen/suite \
+		-calibrate persist-cold/ -quiet
+
+# The crash-recovery wall: kill -9 a child process mid-append and
+# mid-snapshot-save, then assert the reopened log serves an intact
+# contiguous prefix (torn tails truncated, never served corrupt), plus
+# the torn-tail/bit-flip recovery table and the concurrent-save race.
+crash-recovery:
+	$(GO) test -race -count=1 \
+		-run 'TestCrashRecovery|TestSnapshotConcurrentSaves|TestLogTornTail|TestLogBitFlip|TestDiskBackedServiceWarmRestart' \
+		./internal/store ./internal/service
+
+# The two-process warm-restart wall: boot a real htdserve with
+# -store-dir, feed it jobs, kill -9, reboot on the same directory, and
+# assert every repeat request is a cache hit with SolverRuns == 0.
+warm-restart:
+	./scripts/warm_restart.sh
+
 # Capture heap/allocs/CPU profiles from a live htdserve under load via
 # the -pprof-addr listener; writes them under $(PPROF_DIR) (default
 # /tmp/htd-pprof). Nightly CI uploads the directory as an artifact.
@@ -126,4 +166,4 @@ docs-check:
 serve:
 	$(GO) run ./cmd/htdserve
 
-ci: fmt-check vet lint build race bench bench-gate bench-mem-gate stress differential fuzz docs-check
+ci: fmt-check vet lint build race bench bench-gate bench-mem-gate bench-persist-gate crash-recovery warm-restart stress differential fuzz docs-check

@@ -9,7 +9,7 @@
 //	benchtab -experiment figure3 -csv scatter.csv
 //
 // Experiments: table1 table2 table3 table4 table5 figure1 figure3
-// ablation depth ghd race store query exec agg mem all
+// ablation depth ghd race store query exec agg mem persist all
 //
 // The race experiment compares the serial k = 1..kmax width ladder
 // against the optimal-width racing service pipeline; the store
@@ -24,7 +24,11 @@
 // the mem experiment is the memory-diet harness — columnar kernels vs
 // the frozen pre-columnar rowref executor, recording allocs/op,
 // bytes/op, GC pauses, and peak RSS, with byte-identity and a 2x
-// allocation-reduction wall enforced in-experiment (BENCH_PR8.json).
+// allocation-reduction wall enforced in-experiment (BENCH_PR8.json);
+// the persist experiment measures the disk-backed store tier — cold
+// solve-and-append traffic vs a same-process warm pass vs a full
+// process restart over the same -store-dir, with zero solver runs
+// enforced on the restarted service (BENCH_PR9.json).
 // With -benchjson any of them writes its measurements as a JSON
 // benchmark artifact (BENCH_PR5.json in CI) so the perf trajectory is
 // tracked across PRs.
@@ -196,6 +200,12 @@ func main() {
 				return err
 			}
 			fmt.Print(tab.Render())
+		case "persist":
+			tab, err := persistExperiment(ctx, cfg, *benchJSON)
+			if err != nil {
+				return err
+			}
+			fmt.Print(tab.Render())
 		case "depth":
 			fmt.Print(harness.DepthExperiment(ctx, []int{16, 32, 64, 128, 256, 512}).Render())
 		case "ghd":
@@ -221,7 +231,7 @@ func main() {
 	names := []string{*experiment}
 	if *experiment == "all" {
 		names = []string{"table1", "table2", "table3", "table4", "table5",
-			"figure1", "figure3", "ablation", "depth", "ghd", "race", "store", "query", "exec", "agg", "mem"}
+			"figure1", "figure3", "ablation", "depth", "ghd", "race", "store", "query", "exec", "agg", "mem", "persist"}
 	}
 	for _, n := range names {
 		if err := run(strings.TrimSpace(n)); err != nil {

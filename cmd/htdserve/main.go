@@ -7,6 +7,7 @@
 // Usage:
 //
 //	htdserve -addr :8080 [-budget 8] [-max-concurrent 8] [-timeout 30s]
+//	         [-store-dir cache.d] [-store-fsync 100ms]
 //	         [-snapshot cache.json] [-store-shards 16]
 //	         [-tenant-rate 50] [-tenant-inflight 4] [-fair-share]
 //	         [-pprof-addr localhost:6060]
@@ -37,10 +38,23 @@
 //	POST /cache/load   merge a snapshot file into the store
 //	POST /cache/purge  drop all cached entries
 //
+// Persistence, two ways:
+//
+// With -store-dir, the cross-request store itself is disk-backed: the
+// in-memory sharded store becomes the LRU working set over a crash-safe
+// append-only log in that directory, every result is persisted as it is
+// computed, and a restart (graceful or kill -9) serves the whole cached
+// history warm with zero solver runs — no snapshot step involved.
+// -store-fsync trades durability for append latency: 0 (the default)
+// fsyncs every append, larger values fsync on that cadence and can lose
+// at most the unsynced tail on a crash.
+//
 // With -snapshot, the server preloads the snapshot on boot (if the file
 // exists) and saves it again on graceful shutdown, so restarts stay
 // warm: repeat submissions are answered from the restored cache without
-// a solver run.
+// a solver run. Unlike -store-dir this persists only at shutdown — a
+// crash loses everything since the last save. The two compose: snapshot
+// files remain the portable export/import format either way.
 //
 // Try it:
 //
@@ -72,6 +86,8 @@ func main() {
 		memoGraphs  = flag.Int("memo-graphs", 0, "hypergraphs cached in the store (0 = 32)")
 		memoEntry   = flag.Int("memo-entries", 0, "memoised states per (hypergraph, width) table (0 = 1<<20)")
 		snapshot    = flag.String("snapshot", "", "snapshot file: preloaded on boot, saved on graceful shutdown")
+		storeDir    = flag.String("store-dir", "", "disk-backed store directory: every result persists as computed, restarts serve warm")
+		storeFsync  = flag.Duration("store-fsync", 0, "disk store fsync cadence (0 = every append)")
 
 		tenantRate     = flag.Float64("tenant-rate", 0, "per-tenant admissions per second (0 = unlimited)")
 		tenantBurst    = flag.Float64("tenant-burst", 0, "per-tenant burst size (0 = max(rate, 1))")
@@ -92,6 +108,8 @@ func main() {
 		StoreShards:    *storeShards,
 		MemoMaxGraphs:  *memoGraphs,
 		MemoMaxEntries: *memoEntry,
+		StoreDir:       *storeDir,
+		StoreFsync:     *storeFsync,
 		Tenants: htd.TenantConfig{
 			Rate:        *tenantRate,
 			Burst:       *tenantBurst,
@@ -101,7 +119,17 @@ func main() {
 			GlobalRate:  *globalRate,
 		},
 	}
-	svc := htd.NewService(cfg)
+	svc, err := htd.OpenService(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "htdserve: open store %s: %v\n", *storeDir, err)
+		os.Exit(1)
+	}
+	if *storeDir != "" {
+		if st := svc.Store().Stats(); st.Disk != nil {
+			fmt.Fprintf(os.Stderr, "htdserve: disk store %s: %d entries, %d segments, %d bytes\n",
+				*storeDir, st.Disk.Entries, st.Disk.Segments, st.Disk.Bytes)
+		}
+	}
 	if *snapshot != "" {
 		snap, err := htd.LoadSnapshotFile(*snapshot)
 		switch {
@@ -119,11 +147,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "htdserve: warm start, %d cached entries restored\n", n)
 		}
 	}
+	// The batch limit mirrors the service's effective concurrency so
+	// /batch feeds it at full rate without tripping admission control.
+	handler := newHandler(svc, svc.Config().MaxConcurrent, *snapshot, *maxBody)
 	httpSrv := &http.Server{
-		Addr: *addr,
-		// The batch limit mirrors the service's effective concurrency so
-		// /batch feeds it at full rate without tripping admission control.
-		Handler:           newHandler(svc, svc.Config().MaxConcurrent, *snapshot, *maxBody),
+		Addr:              *addr,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -160,15 +189,20 @@ func main() {
 				fmt.Fprintf(os.Stderr, "htdserve: pprof shutdown: %v\n", err)
 			}
 		}
-		svc.Close()
 		if *snapshot != "" {
-			snap := svc.Store().Export()
-			if err := htd.SaveSnapshotFile(*snapshot, snap); err != nil {
+			// The shutdown save goes through the handler's serialised
+			// saver: a still-running POST /cache/save and this save must
+			// not race each other's rename onto the same path.
+			if n, err := handler.saveSnapshot(*snapshot); err != nil {
 				fmt.Fprintf(os.Stderr, "htdserve: save snapshot: %v\n", err)
 			} else {
-				fmt.Fprintf(os.Stderr, "htdserve: snapshot saved to %s (%d entries)\n",
-					*snapshot, len(snap.Entries))
+				fmt.Fprintf(os.Stderr, "htdserve: snapshot saved to %s (%d entries)\n", *snapshot, n)
 			}
+		}
+		// Close drains in-flight jobs, then flushes and closes the disk
+		// store (when -store-dir owns one).
+		if err := svc.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "htdserve: close store: %v\n", err)
 		}
 	}
 

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	htd "repro"
+)
+
+// TestConcurrentCacheSaveAndShutdownSave hammers POST /cache/save from
+// many goroutines while the shutdown-style save runs through the same
+// serialised saver. Every save must succeed, and the file must end up
+// a complete, valid snapshot — the exact race the saveMu guards: two
+// unserialised renames onto one path letting a stale save clobber a
+// fresh one.
+func TestConcurrentCacheSaveAndShutdownSave(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.snapshot")
+	svc := htd.NewService(htd.ServiceConfig{TokenBudget: 2, MaxConcurrent: 4})
+	defer svc.Close()
+	handler := newHandler(svc, 4, path, 0)
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	// Seed the store so snapshots have content.
+	_, out := postJSON(t, ts.URL+"/decompose",
+		`{"hypergraph":"r1(x,y), r2(y,z), r3(z,x).","k":2}`)
+	if !out.OK {
+		t.Fatalf("seed decompose failed: %+v", out)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := http.Post(ts.URL+"/cache/save", "application/json", strings.NewReader("{}"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var body struct {
+					Saved int    `json:"saved"`
+					Error string `json:"error"`
+				}
+				json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("cache/save: %d %s", resp.StatusCode, body.Error)
+					return
+				}
+			}
+		}()
+	}
+	// The shutdown path concurrently, through the same saver.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := handler.saveSnapshot(path); err != nil {
+				t.Errorf("shutdown-style save: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	snap, err := htd.LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("final snapshot corrupt after concurrent saves: %v", err)
+	}
+	if len(snap.Entries) != 1 {
+		t.Fatalf("snapshot has %d entries, want 1", len(snap.Entries))
+	}
+}
+
+// TestServeDiskStoreWarmRestart: an htdserve handler stack over a
+// -store-dir service, torn down and rebuilt on the same directory,
+// must answer the repeat request as a cache hit with zero solver runs
+// — the two-process scripts/warm_restart.sh contract, in-process.
+func TestServeDiskStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*httptest.Server, *htd.Service) {
+		svc, err := htd.OpenService(htd.ServiceConfig{
+			TokenBudget: 2, MaxConcurrent: 4, DefaultTimeout: 30 * time.Second,
+			StoreDir: dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return httptest.NewServer(newHandler(svc, 4, "", 0)), svc
+	}
+	const job = `{"hypergraph":"r1(x,y), r2(y,z), r3(z,x), r4(x,z).","k":2}`
+
+	ts, svc := open()
+	_, out := postJSON(t, ts.URL+"/decompose", job)
+	if !out.OK || out.CacheHit {
+		t.Fatalf("cold request: %+v", out)
+	}
+	ts.Close()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts, svc = open()
+	defer ts.Close()
+	defer svc.Close()
+	_, out = postJSON(t, ts.URL+"/decompose", job)
+	if !out.OK || !out.CacheHit {
+		t.Fatalf("warm request after restart not a cache hit: %+v", out)
+	}
+	if runs := svc.Stats().SolverRuns; runs != 0 {
+		t.Fatalf("warm restart ran %d solvers, want 0", runs)
+	}
+	// /stats reports the disk tier so operators can see the log.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		PositiveHits int64 `json:"PositiveHits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.PositiveHits != 1 {
+		t.Fatalf("stats PositiveHits=%d, want 1", st.PositiveHits)
+	}
+	// /cache exposes Disk counters through the store stats.
+	cresp, err := http.Get(ts.URL + "/cache?max=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cresp.Body.Close()
+	var cache struct {
+		Store struct {
+			Disk *htd.DiskStoreStats `json:"disk"`
+		} `json:"store"`
+	}
+	if err := json.NewDecoder(cresp.Body).Decode(&cache); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Store.Disk == nil || cache.Store.Disk.Entries != 1 {
+		t.Fatalf("cache stats missing the disk tier: %+v", cache.Store.Disk)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -144,6 +145,13 @@ func bodyErrStatus(err error) int {
 // server wires an htd.Service into HTTP handlers.
 type server struct {
 	svc *htd.Service
+	mux *http.ServeMux
+	// saveMu serialises snapshot saves. Every save — POST /cache/save
+	// and the shutdown save — must go through saveSnapshot: two
+	// unserialised SaveSnapshotFile calls to the same path are each
+	// atomic (temp file + rename), but whichever rename lands last wins,
+	// so a slow handler save could clobber the fresher shutdown save.
+	saveMu sync.Mutex
 	// planner answers /query and /querybatch over svc; it shares the
 	// service's plan cache with /decompose traffic (a decomposed
 	// hypergraph is a warm plan for a structurally identical query).
@@ -171,7 +179,7 @@ const maxBatchLine = 16 * 1024 * 1024
 // arbitrarily large.
 const maxTenantIDLen = 128
 
-func newHandler(svc *htd.Service, batchLimit int, snapshotPath string, maxBody int64) http.Handler {
+func newHandler(svc *htd.Service, batchLimit int, snapshotPath string, maxBody int64) *server {
 	if batchLimit < 1 {
 		batchLimit = 1
 	}
@@ -197,7 +205,22 @@ func newHandler(svc *htd.Service, batchLimit int, snapshotPath string, maxBody i
 	mux.HandleFunc("POST /cache/save", s.handleCacheSave)
 	mux.HandleFunc("POST /cache/load", s.handleCacheLoad)
 	mux.HandleFunc("POST /cache/purge", s.handleCachePurge)
-	return mux
+	s.mux = mux
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// saveSnapshot exports the store and writes it to path, serialised
+// against every other save (see saveMu). It returns the entry count.
+func (s *server) saveSnapshot(path string) (int, error) {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	snap := s.svc.Store().Export()
+	if err := htd.SaveSnapshotFile(path, snap); err != nil {
+		return 0, err
+	}
+	return len(snap.Entries), nil
 }
 
 // parseRequest turns an API request into a service request.
@@ -738,12 +761,12 @@ func (s *server) handleCacheSave(w http.ResponseWriter, r *http.Request) {
 		httpError(w, bodyErrStatus(err), err.Error())
 		return
 	}
-	snap := s.svc.Store().Export()
-	if err := htd.SaveSnapshotFile(path, snap); err != nil {
+	n, err := s.saveSnapshot(path)
+	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"saved": len(snap.Entries), "path": path})
+	writeJSON(w, http.StatusOK, map[string]any{"saved": n, "path": path})
 }
 
 func (s *server) handleCacheLoad(w http.ResponseWriter, r *http.Request) {

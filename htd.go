@@ -192,7 +192,18 @@ var (
 )
 
 // NewService returns a decomposition service. Close it when done.
+// ServiceConfig.StoreDir is ignored here — use OpenService for a
+// disk-backed service, whose store can fail to open.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// OpenService is NewService honouring ServiceConfig.StoreDir: when set
+// (and no Store is injected) the service persists through a disk-backed
+// tiered store in that directory — the in-memory sharded backend as the
+// LRU working set over a crash-safe append-only log — and a restart on
+// the same directory serves the whole cached history warm, with zero
+// solver runs for repeat submissions and no snapshot file. The service
+// owns that backend and flushes and closes it on Close.
+func OpenService(cfg ServiceConfig) (*Service, error) { return service.Open(cfg) }
 
 // TenantWall is the multi-tenant admission layer in front of a
 // Service's global admission control: per-tenant token-bucket rate
@@ -249,6 +260,31 @@ type StoreSnapshot = store.Snapshot
 // NewShardedStore returns the default in-memory store backend: entries
 // striped over independently locked shards with O(1) LRU eviction.
 func NewShardedStore(cfg StoreConfig) StoreBackend { return store.NewSharded(cfg) }
+
+// TieredStore is the disk-backed store backend: a sharded in-memory
+// front (the LRU working set, with promotion on disk hits) over a
+// crash-safe append-only record log (the full durable state; it never
+// evicts). Build one with OpenTieredStore and inject it via
+// ServiceConfig.Store, or let OpenService build it from
+// ServiceConfig.StoreDir. Close it when done (or let the owning
+// service); Closing flushes memo summaries and fsyncs the tail.
+type TieredStore = store.Tiered
+
+// TieredStoreConfig sizes a TieredStore: the memory front and the log.
+type TieredStoreConfig = store.TieredConfig
+
+// StoreLogConfig configures the append-only log under a TieredStore:
+// directory, segment size, fsync cadence, compaction threshold.
+type StoreLogConfig = store.LogConfig
+
+// DiskStoreStats is the disk tier's corner of StoreStats (StoreStats.
+// Disk, nil for purely in-memory backends).
+type DiskStoreStats = store.DiskStats
+
+// OpenTieredStore opens (or creates) a disk-backed tiered store. The
+// log directory is replayed on open, truncating a torn tail left by a
+// crash — at most the unsynced suffix is lost, never earlier records.
+func OpenTieredStore(cfg TieredStoreConfig) (*TieredStore, error) { return store.OpenTiered(cfg) }
 
 // SaveSnapshotFile writes a store snapshot as versioned JSON (atomic
 // temp-file + rename).

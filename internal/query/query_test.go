@@ -22,7 +22,7 @@ func newTestPlanner(t *testing.T) (*Planner, *service.Service) {
 		MaxQueue:       256,
 		DefaultTimeout: time.Minute,
 	})
-	t.Cleanup(svc.Close)
+	t.Cleanup(func() { svc.Close() })
 	return NewPlanner(svc), svc
 }
 

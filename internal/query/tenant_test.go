@@ -23,7 +23,7 @@ func TestEvalTenantLeaseCoversWholeQuery(t *testing.T) {
 		DefaultTimeout: time.Minute,
 		Tenants:        tenant.Config{Rate: 0.001, Burst: 2},
 	})
-	t.Cleanup(svc.Close)
+	t.Cleanup(func() { svc.Close() })
 	p := NewPlanner(svc)
 
 	r := rand.New(rand.NewSource(7))

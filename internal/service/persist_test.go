@@ -1,0 +1,99 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/store"
+)
+
+// TestDiskBackedServiceWarmRestart is the service-level warm-restart
+// contract: submit through a StoreDir-backed service, close it, reopen
+// on the same directory, and every repeat submission must be a cache
+// hit — zero solver runs, the witness re-validated from disk.
+func TestDiskBackedServiceWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	graphs := map[string]int{"c12": 12, "c16": 16, "c20": 20}
+
+	svc, err := Open(Config{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, n := range graphs {
+		r := svc.Submit(ctx, Request{H: cycle(n), K: 2})
+		if r.Err != nil || !r.OK {
+			t.Fatalf("%s cold: ok=%v err=%v", name, r.OK, r.Err)
+		}
+	}
+	// A refutation must persist too: a 3-uniform-ish structure a width-1
+	// bound cannot cover.
+	if r := svc.Submit(ctx, Request{H: grid(3), K: 1}); r.Err != nil || r.OK {
+		t.Fatalf("grid cold refutation: ok=%v err=%v", r.OK, r.Err)
+	}
+	cold := svc.Stats()
+	if cold.SolverRuns != int64(len(graphs))+1 {
+		t.Fatalf("cold SolverRuns=%d, want %d", cold.SolverRuns, len(graphs)+1)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	svc, err = Open(Config{StoreDir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer svc.Close()
+	for name, n := range graphs {
+		r := svc.Submit(ctx, Request{H: cycle(n), K: 2})
+		if r.Err != nil || !r.OK {
+			t.Fatalf("%s warm: ok=%v err=%v", name, r.OK, r.Err)
+		}
+		if !r.CacheHit {
+			t.Fatalf("%s warm submission missed the disk tier", name)
+		}
+		if r.Decomp == nil || decomp.CheckHD(r.Decomp) != nil || decomp.CheckWidth(r.Decomp, 2) != nil {
+			t.Fatalf("%s warm witness invalid", name)
+		}
+	}
+	if r := svc.Submit(ctx, Request{H: grid(3), K: 1}); r.Err != nil || r.OK || !r.CacheHit {
+		t.Fatalf("grid warm refutation: ok=%v hit=%v err=%v", r.OK, r.CacheHit, r.Err)
+	}
+	warm := svc.Stats()
+	if warm.SolverRuns != 0 {
+		t.Fatalf("warm restart ran %d solvers, want 0", warm.SolverRuns)
+	}
+	if warm.PositiveHits != int64(len(graphs)) || warm.NegativeHits != 1 {
+		t.Fatalf("warm hits: +%d -%d, want +%d -1", warm.PositiveHits, warm.NegativeHits, len(graphs))
+	}
+}
+
+// TestOpenPrefersInjectedStore: an explicit Config.Store wins over
+// StoreDir, and the service does not close a backend it was handed.
+func TestOpenPrefersInjectedStore(t *testing.T) {
+	mem := store.NewSharded(store.Config{})
+	svc, err := Open(Config{Store: mem, StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Store() != store.Backend(mem) {
+		t.Fatal("injected store not used")
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The injected backend must still be usable after the service closed.
+	mem.MergeBounds("g", store.Bounds{LB: 2})
+	if _, ok := mem.Bounds("g"); !ok {
+		t.Fatal("service closed a backend it does not own")
+	}
+}
+
+// TestOpenBadStoreDir: an unopenable directory fails Open instead of
+// silently degrading to memory-only.
+func TestOpenBadStoreDir(t *testing.T) {
+	if _, err := Open(Config{StoreDir: "/dev/null/not-a-dir"}); err == nil {
+		t.Fatal("Open with an impossible StoreDir must fail")
+	}
+}

@@ -76,6 +76,18 @@ type Config struct {
 	// MemoMaxEntries bounds memoised states per (hypergraph, width)
 	// table; inserts beyond it are dropped. Default 1<<20.
 	MemoMaxEntries int
+	// StoreDir, when set (and Store is nil), makes Open build a
+	// disk-backed tiered store: the sharded in-memory backend above
+	// becomes the LRU working set over a crash-safe append-only log in
+	// this directory, so a restart serves its whole history warm with
+	// no snapshot file. The service owns the backend and closes it on
+	// Close. New ignores this field — a disk store can fail to open, so
+	// it is Open's job.
+	StoreDir string
+	// StoreFsync is the disk store's durability cadence: 0 fsyncs every
+	// append, > 0 fsyncs at most that often (a crash loses at most the
+	// unsynced tail).
+	StoreFsync time.Duration
 	// Tenants configures the per-tenant admission wall layered in
 	// front of the global admission above. The zero value enforces
 	// nothing but still tracks per-tenant counters and latency; set
@@ -255,6 +267,10 @@ type Service struct {
 	tenants *tenant.Wall
 	slots   chan struct{}
 
+	// ownsStore marks a backend Open built itself (not injected via
+	// Config.Store): Close closes it, flushing the disk tier.
+	ownsStore bool
+
 	mu     sync.Mutex // guards closed + jobs Add
 	closed bool
 	jobs   sync.WaitGroup
@@ -283,7 +299,9 @@ type Service struct {
 	}
 }
 
-// New returns a Service with the given configuration.
+// New returns a Service with the given configuration. It never fails:
+// Config.StoreDir is ignored (opening a disk store can fail) — use Open
+// for a disk-backed service.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	if cfg.Store == nil {
@@ -303,6 +321,36 @@ func New(cfg Config) *Service {
 	}
 	s.agg.cancelledByWidth = make(map[int]int64)
 	return s
+}
+
+// Open returns a Service like New, additionally honouring
+// Config.StoreDir: with no injected Store and a StoreDir set, it opens
+// a disk-backed tiered backend there (the sharded in-memory store as
+// the LRU working set over a crash-safe append-only log), owned by the
+// service and closed by Close. A restart pointed at the same directory
+// serves the entire cached history warm — zero solver runs for repeat
+// submissions — with no snapshot file involved.
+func Open(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	owns := false
+	if cfg.Store == nil && cfg.StoreDir != "" {
+		ts, err := store.OpenTiered(store.TieredConfig{
+			Mem: store.Config{
+				Shards:        cfg.StoreShards,
+				MaxGraphs:     cfg.MemoMaxGraphs,
+				MemoMaxStates: int64(cfg.MemoMaxEntries),
+			},
+			Log: store.LogConfig{Dir: cfg.StoreDir, Fsync: cfg.StoreFsync},
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = ts
+		owns = true
+	}
+	s := New(cfg)
+	s.ownsStore = owns
+	return s, nil
 }
 
 // Budget exposes the shared token pool (read-only use: sizing, stats).
@@ -816,10 +864,19 @@ func (s *Service) Stats() Stats {
 }
 
 // Close rejects future submissions and waits for in-flight jobs to
-// drain. Jobs keep their own contexts; Close does not cancel them.
-func (s *Service) Close() {
+// drain. Jobs keep their own contexts; Close does not cancel them. A
+// backend the service owns (built by Open from StoreDir) is closed
+// after the drain, flushing the disk tier; the returned error is that
+// close's. Idempotent.
+func (s *Service) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
 	s.jobs.Wait()
+	if s.ownsStore {
+		if c, ok := s.store.(interface{ Close() error }); ok {
+			return c.Close()
+		}
+	}
+	return nil
 }

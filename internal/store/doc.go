@@ -13,10 +13,22 @@
 //     proven exhausted (formerly the service's memoStore), shared with
 //     the solvers through logk.MemoBackend.
 //
-// All of it sits behind the small pluggable Backend interface; the
-// in-memory implementation (Sharded) stripes entries over independently
-// locked shards with O(1) LRU eviction, and Snapshot gives any backend
-// versioned save/load so a serving process restarts warm. Request
-// coalescing (Flight) lives here too: N concurrent identical requests
-// run one solver and share the result.
+// All of it sits behind the small pluggable Backend interface. Three
+// implementations ship:
+//
+//   - Sharded — in-memory: entries striped over independently locked
+//     shards with O(1) LRU eviction;
+//   - Log — disk-backed and crash-safe: an append-only record log
+//     (length-prefixed, CRC-32C-checksummed records, fsync cadence
+//     configurable down to every append) with segment rotation,
+//     background compaction, and torn-tail recovery on open;
+//   - Tiered — the composition serving processes actually run: a
+//     Sharded front as the LRU working set over a Log as the durable
+//     truth, so every result persists as it is computed and a restart
+//     (graceful or kill -9) serves the whole history warm.
+//
+// Snapshot additionally gives any backend versioned save/load as a
+// portable export/import format. Request coalescing (Flight) lives
+// here too: N concurrent identical requests run one solver and share
+// the result.
 package store

@@ -32,10 +32,13 @@ func NewFlight() *Flight {
 }
 
 // Do runs fn under key, coalescing with concurrent callers. The leader
-// (leader == true) executes fn on its own goroutine with its own
-// context and always runs to completion. Followers wait for the
-// leader's value, or abort with ctx.Err() when their own context
-// expires first — the leader's run is unaffected.
+// (leader == true) executes fn on the caller's own goroutine with the
+// caller's context and always runs fn to completion before returning.
+// Followers wait for the leader's value, or abort with ctx.Err() when
+// their own context expires first — the leader's run is unaffected.
+// When the leader's value and the follower's cancellation are both
+// ready, the value wins: an answer that has already been computed is
+// never discarded for a context that expired in the same instant.
 //
 // Note the sharing contract: followers receive the leader's value as
 // is, including any error it carries. Callers that must not share
@@ -50,6 +53,13 @@ func (f *Flight) Do(ctx context.Context, key string, fn func() any) (val any, le
 		case <-c.done:
 			return c.val, false, nil
 		case <-ctx.Done():
+			// Both arms may have been ready and select picks one at
+			// random; prefer the delivered value over the cancellation.
+			select {
+			case <-c.done:
+				return c.val, false, nil
+			default:
+			}
 			return nil, false, ctx.Err()
 		}
 	}

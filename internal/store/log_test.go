@@ -1,0 +1,458 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testTree returns a small witness tree of the given width.
+func testTree(w int) *Tree {
+	lam := make([]int, w)
+	bag := make([]int, w)
+	for i := range lam {
+		lam[i], bag[i] = i, i
+	}
+	return &Tree{Lambda: lam, Bag: bag, Children: []*Tree{{Lambda: []int{0}, Bag: []int{0}}}}
+}
+
+// lastSegment returns the path of the highest-numbered segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segments in %s (err=%v)", dir, err)
+	}
+	return names[len(names)-1]
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.MergeBounds("g1", Bounds{LB: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.PutTree("g1", testTree(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.MergeRefuted("g1", []WidthSummary{{K: 2, States: 17}, {K: 1, States: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.PutTree("g2", testTree(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.DropTree("g2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err = OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if b, ok := l.Bounds("g1"); !ok || b.LB != 3 || b.UB != 4 {
+		t.Fatalf("g1 bounds %+v ok=%v, want LB=3 UB=4", b, ok)
+	}
+	tr, ok, err := l.Tree("g1")
+	if err != nil || !ok || tr.Width() != 4 || tr.Nodes() != 2 {
+		t.Fatalf("g1 tree w=%d n=%d ok=%v err=%v", tr.Width(), tr.Nodes(), ok, err)
+	}
+	if ws := l.Refuted("g1"); len(ws) != 2 || ws[0].K != 1 || ws[1].States != 17 {
+		t.Fatalf("g1 refuted %+v", ws)
+	}
+	// g2's tombstone must survive the restart; its UB (from the tree)
+	// stays — the witness is gone, the width-level fact is not.
+	if _, ok, _ := l.Tree("g2"); ok {
+		t.Fatal("g2 tree must stay dropped after reopen")
+	}
+	if b, ok := l.Bounds("g2"); !ok || b.UB != 2 {
+		t.Fatalf("g2 bounds %+v ok=%v, want UB=2", b, ok)
+	}
+	if n := l.Len(); n != 2 {
+		t.Fatalf("len=%d, want 2", n)
+	}
+}
+
+// TestLogSupersededRecordsDoNotResurrect: merges only tighten across
+// append + replay — an older, looser record replayed before a newer
+// one never wins.
+func TestLogSupersededRecordsDoNotResurrect(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.MergeBounds("g", Bounds{LB: 2, UB: 9})
+	l.PutTree("g", testTree(6))
+	l.PutTree("g", testTree(3)) // better: supersedes
+	l.PutTree("g", testTree(5)) // worse: no-op
+	l.MergeBounds("g", Bounds{LB: 3})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if b, _ := l.Bounds("g"); b.LB != 3 || b.UB != 3 {
+		t.Fatalf("bounds %+v, want LB=3 UB=3", b)
+	}
+	if tr, ok, _ := l.Tree("g"); !ok || tr.Width() != 3 {
+		t.Fatalf("tree width %d ok=%v, want 3", tr.Width(), ok)
+	}
+}
+
+func TestLogRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments, auto-compaction off: the test drives Compact.
+	l, err := OpenLog(LogConfig{Dir: dir, SegmentBytes: 512, CompactRatio: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lots of superseded records: the same hashes get ever-better trees.
+	for round := 9; round >= 2; round-- {
+		for i := 0; i < 8; i++ {
+			hash := fmt.Sprintf("g%d", i)
+			l.PutTree(hash, testTree(round))
+			l.MergeBounds(hash, Bounds{LB: 2})
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("segments=%d, want rotation to have happened", st.Segments)
+	}
+	if st.LiveBytes >= st.Bytes {
+		t.Fatalf("live=%d total=%d: superseded records must count as garbage", st.LiveBytes, st.Bytes)
+	}
+	preBytes := st.Bytes
+
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st = l.Stats()
+	if st.Segments != 1 {
+		t.Fatalf("segments=%d after compaction, want 1", st.Segments)
+	}
+	if st.Bytes >= preBytes {
+		t.Fatalf("bytes %d -> %d: compaction must reclaim garbage", preBytes, st.Bytes)
+	}
+	if st.Compactions != 1 {
+		t.Fatalf("compactions=%d, want 1", st.Compactions)
+	}
+	// Live state intact, trees readable from the compacted segment.
+	for i := 0; i < 8; i++ {
+		hash := fmt.Sprintf("g%d", i)
+		if tr, ok, err := l.Tree(hash); err != nil || !ok || tr.Width() != 2 {
+			t.Fatalf("%s after compaction: w=%d ok=%v err=%v", hash, tr.Width(), ok, err)
+		}
+	}
+	// Appends after compaction still work and everything survives reopen.
+	l.PutTree("fresh", testTree(3))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if n := l.Len(); n != 9 {
+		t.Fatalf("len=%d after reopen, want 9", n)
+	}
+	if tr, ok, _ := l.Tree("g3"); !ok || tr.Width() != 2 {
+		t.Fatalf("g3 lost by compaction+reopen (w=%d ok=%v)", tr.Width(), ok)
+	}
+}
+
+// TestLogAutoCompaction: rotation triggers background compaction once
+// the garbage ratio crosses the threshold.
+func TestLogAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(LogConfig{Dir: dir, SegmentBytes: 256, CompactRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// One hash, endlessly superseded: nearly everything is garbage.
+	for w := 60; w >= 2; w-- {
+		l.PutTree("g", testTree(w))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Stats().Compactions == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := l.Stats(); st.Compactions == 0 {
+		t.Fatalf("no background compaction: %+v", st)
+	}
+	if tr, ok, err := l.Tree("g"); err != nil || !ok || tr.Width() != 2 {
+		t.Fatalf("g after auto-compaction: w=%d ok=%v err=%v", tr.Width(), ok, err)
+	}
+}
+
+// TestLogTornTailRecovery: garbage appended after the last valid
+// record (a crash mid-append) is truncated on open; every earlier
+// record survives; new appends land cleanly after recovery.
+func TestLogTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.PutTree(fmt.Sprintf("g%d", i), testTree(i%3+2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the torn tail: half a frame of garbage.
+	seg := lastSegment(t, dir)
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x2a, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l, err = OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	if st := l.Stats(); st.TruncatedTail == 0 {
+		t.Fatalf("torn tail not detected: %+v", st)
+	}
+	for i := 0; i < 10; i++ {
+		if tr, ok, err := l.Tree(fmt.Sprintf("g%d", i)); err != nil || !ok || tr.Width() != i%3+2 {
+			t.Fatalf("g%d lost to torn tail (w=%d ok=%v err=%v)", i, tr.Width(), ok, err)
+		}
+	}
+	// Recovery truncated; the next append must be durable and readable.
+	if err := l.PutTree("after", testTree(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, ok, _ := l.Tree("after"); !ok {
+		t.Fatal("post-recovery append lost")
+	}
+}
+
+// TestLogTornTailEveryOffset: a synced log truncated at EVERY byte
+// offset inside its final region must reopen with exactly the records
+// whose frames lie fully before the cut — no error, no corruption.
+func TestLogTornTailEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	l, err := OpenLog(LogConfig{Dir: master})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type mark struct {
+		hash string
+		end  int64 // file offset at which the record is complete
+	}
+	var marks []mark
+	for i := 0; i < 5; i++ {
+		hash := fmt.Sprintf("g%d", i)
+		if err := l.PutTree(hash, testTree(2)); err != nil {
+			t.Fatal(err)
+		}
+		marks = append(marks, mark{hash, l.active().size})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := lastSegment(t, master)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sample every offset in the last two records plus a spread before.
+	start := marks[2].end
+	for cut := start; cut <= int64(len(data)); cut += 7 {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(seg)), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		lc, err := OpenLog(LogConfig{Dir: dir})
+		if err != nil {
+			t.Fatalf("cut=%d: open: %v", cut, err)
+		}
+		for _, m := range marks {
+			_, ok, terr := lc.Tree(m.hash)
+			want := m.end <= cut
+			if terr != nil || ok != want {
+				t.Fatalf("cut=%d %s: ok=%v err=%v, want ok=%v", cut, m.hash, ok, terr, want)
+			}
+		}
+		lc.Close()
+	}
+}
+
+// TestLogBitFlipRecovery: a flipped bit inside a record fails its
+// checksum — the log reopens, serves every record before the flip, and
+// never serves the corrupted one.
+func TestLogBitFlipRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offsets []int64
+	for i := 0; i < 6; i++ {
+		offsets = append(offsets, l.active().size)
+		if err := l.PutTree(fmt.Sprintf("g%d", i), testTree(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload bit in the record for g3.
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[offsets[3]+frameHeader+10] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err = OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("open with bit flip: %v", err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if tr, ok, err := l.Tree(fmt.Sprintf("g%d", i)); err != nil || !ok || tr.Width() != 2 {
+			t.Fatalf("g%d before the flip must survive (ok=%v err=%v)", i, ok, err)
+		}
+	}
+	if _, ok, _ := l.Tree("g3"); ok {
+		t.Fatal("corrupted record must never be served")
+	}
+}
+
+func TestLogPurge(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.PutTree("g", testTree(2))
+	if err := l.Purge(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 {
+		t.Fatal("purge left entries")
+	}
+	l.PutTree("h", testTree(3))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, ok := l.Bounds("g"); ok {
+		t.Fatal("purged entry resurrected on reopen")
+	}
+	if _, ok, _ := l.Tree("h"); !ok {
+		t.Fatal("post-purge append lost on reopen")
+	}
+}
+
+// TestLogFsyncCadence: with a cadence the appends are buffered and the
+// background loop (or an explicit Sync) flushes them.
+func TestLogFsyncCadence(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(LogConfig{Dir: dir, Fsync: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		l.MergeBounds(fmt.Sprintf("g%d", i), Bounds{LB: 2})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Stats().Syncs == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := l.Stats(); st.Syncs == 0 {
+		t.Fatalf("background fsync never ran: %+v", st)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogConcurrency: concurrent merges, puts, reads, and a compaction
+// under the race detector.
+func TestLogConcurrency(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(LogConfig{Dir: dir, SegmentBytes: 2048, CompactRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				hash := fmt.Sprintf("g%d", i%10)
+				switch g % 4 {
+				case 0:
+					l.MergeBounds(hash, Bounds{LB: i%4 + 2})
+				case 1:
+					l.PutTree(hash, testTree(i%5+2))
+				case 2:
+					l.Bounds(hash)
+					l.Tree(hash)
+				case 3:
+					l.MergeRefuted(hash, []WidthSummary{{K: i % 3, States: int64(i)}})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = OpenLog(LogConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if st := l.Stats(); st.Entries == 0 || st.CorruptRecords != 0 {
+		t.Fatalf("after concurrent traffic: %+v", st)
+	}
+}

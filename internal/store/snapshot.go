@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 )
 
@@ -49,8 +50,14 @@ func (s Snapshot) Validate() error {
 }
 
 // WriteFile writes the snapshot as indented JSON, stamping SavedAt.
-// The write goes through a temp file + rename so a crash mid-save never
-// truncates an existing snapshot.
+// The write goes through a fresh temp file + rename so a crash mid-save
+// never truncates an existing snapshot, and so concurrent saves to the
+// same path cannot corrupt each other: each save owns a unique
+// os.CreateTemp name (a fixed temp name would let one writer rename
+// another's half-written file over a good snapshot), the temp file is
+// fsync'd before the rename (the data is durable before it becomes
+// visible under path), and the parent directory is fsync'd after (the
+// rename itself is durable).
 func WriteFile(path string, s Snapshot) error {
 	s.Version = SnapshotVersion
 	s.SavedAt = time.Now().UTC()
@@ -58,11 +65,50 @@ func WriteFile(path string, s Snapshot) error {
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	// CreateTemp opens 0600; snapshots keep their documented 0644.
+	if err := f.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-created, renamed, or removed
+// entry inside it survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return err
+	}
+	return d.Close()
 }
 
 // ReadFile loads and validates a snapshot written by WriteFile.

@@ -101,6 +101,12 @@ type Stats struct {
 	TreeHits     int64 `json:"tree_hits"`     // Decomposition calls that found a tree
 	Evictions    int64 `json:"evictions"`     // entries dropped by the LRU cap
 	Restored     int64 `json:"restored"`      // entries merged in by Import
+
+	// Disk is the disk tier's counters, nil for purely in-memory
+	// backends. For a Tiered backend the top-level fields above describe
+	// the memory front (the LRU working set); Disk describes the
+	// append-only log underneath it (the full durable state).
+	Disk *DiskStats `json:"disk,omitempty"`
 }
 
 // EntryInfo is one cached hypergraph as listed by Backend.Info (the

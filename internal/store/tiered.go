@@ -1,0 +1,239 @@
+package store
+
+import (
+	"sync"
+)
+
+// TieredConfig sizes a Tiered backend: an in-memory Sharded front over
+// a disk Log.
+type TieredConfig struct {
+	// Mem sizes the memory front (the read-through / write-behind LRU
+	// working set). The zero value picks the Sharded defaults.
+	Mem Config
+	// Log configures the disk tier; Log.Dir is required.
+	Log LogConfig
+}
+
+// Tiered is the disk-backed Backend: the Sharded in-memory store is
+// the front (every read is answered from memory when possible, every
+// promotion lands there), the append-only Log is the truth (every
+// bounds / tree / drop mutation is appended before the call returns,
+// with durability governed by the log's fsync cadence). The memory
+// front is LRU-capped; the disk tier never evicts, so an entry pushed
+// out of memory by hotter traffic is still a cache hit — it is read
+// back from disk and re-promoted. A process restart reopens the log
+// and serves the entire history warm, with no snapshot file involved.
+//
+// Negative-memo tables live in memory only (they are large and
+// regenerate quickly); their per-width summaries are flushed to the
+// log on Sync, Compact, Export, and Close, mirroring what snapshots
+// persist.
+//
+// Disk append failures are counted (Stats().Disk.Errors) but do not
+// fail reads or lose the in-memory state: availability degrades to
+// the in-memory contract, not to an outage.
+type Tiered struct {
+	mem *Sharded
+	log *Log
+
+	closeMu  sync.Mutex
+	closed   bool
+	closeErr error
+}
+
+// OpenTiered opens (or creates) the disk tier and builds the memory
+// front over it.
+func OpenTiered(cfg TieredConfig) (*Tiered, error) {
+	l, err := OpenLog(cfg.Log)
+	if err != nil {
+		return nil, err
+	}
+	return &Tiered{mem: NewSharded(cfg.Mem), log: l}, nil
+}
+
+// Log exposes the disk tier for maintenance (Compact, Sync) and tests.
+func (t *Tiered) Log() *Log { return t.log }
+
+// Bounds implements Backend: memory first, disk on miss (with
+// promotion into the memory front).
+func (t *Tiered) Bounds(hash string) (Bounds, bool) {
+	if b, ok := t.mem.Bounds(hash); ok {
+		return b, true
+	}
+	b, ok := t.log.Bounds(hash)
+	if !ok {
+		return Bounds{}, false
+	}
+	t.mem.MergeBounds(hash, b)
+	return b, true
+}
+
+// MergeBounds implements Backend: write-through to both tiers. The
+// log appends only when the merge changed its state, so repeat merges
+// of known facts cost a map lookup, not disk traffic.
+func (t *Tiered) MergeBounds(hash string, b Bounds) {
+	t.mem.MergeBounds(hash, b)
+	t.log.MergeBounds(hash, b) // error counted in DiskStats.Errors
+}
+
+// Decomposition implements Backend: memory first; on miss the witness
+// is read back from the log (checksum-verified) and promoted.
+func (t *Tiered) Decomposition(hash string) (*Tree, bool) {
+	if tr, ok := t.mem.Decomposition(hash); ok {
+		return tr, true
+	}
+	tr, ok, _ := t.log.Tree(hash)
+	if !ok {
+		return nil, false
+	}
+	t.mem.PutDecomposition(hash, tr)
+	return tr, true
+}
+
+// PutDecomposition implements Backend.
+func (t *Tiered) PutDecomposition(hash string, tr *Tree) {
+	t.mem.PutDecomposition(hash, tr)
+	t.log.PutTree(hash, tr)
+}
+
+// DropDecomposition implements Backend. The tombstone is appended so
+// a tree that failed re-validation stays gone across restarts.
+func (t *Tiered) DropDecomposition(hash string) {
+	t.mem.DropDecomposition(hash)
+	t.log.DropTree(hash)
+}
+
+// Memo implements Backend: negative-memo tables are memory-only.
+func (t *Tiered) Memo(hash string, k int) (Memo, bool) {
+	return t.mem.Memo(hash, k)
+}
+
+// Stats implements Backend: the top-level counters describe the
+// memory front, Disk the log underneath.
+func (t *Tiered) Stats() Stats {
+	st := t.mem.Stats()
+	d := t.log.Stats()
+	st.Disk = &d
+	return st
+}
+
+// Info implements Backend: entries come from the disk index (the full
+// durable state, sorted by hash for deterministic listings), with live
+// memo-table summaries overlaid from the memory front.
+func (t *Tiered) Info(max int) []EntryInfo {
+	hashes := t.log.Hashes()
+	memInfo := make(map[string]EntryInfo)
+	for _, in := range t.mem.Info(0) {
+		memInfo[in.Hash] = in
+	}
+	var out []EntryInfo
+	for _, hash := range hashes {
+		if max > 0 && len(out) >= max {
+			break
+		}
+		b, _ := t.log.Bounds(hash)
+		in := EntryInfo{Hash: hash, Bounds: b}
+		if w, ok := t.log.TreeWidth(hash); ok {
+			in.HasTree, in.TreeWidth = true, w
+		}
+		if mi, ok := memInfo[hash]; ok {
+			in.Memos = mi.Memos
+			delete(memInfo, hash)
+		} else {
+			in.Memos = t.log.Refuted(hash)
+		}
+		out = append(out, in)
+	}
+	// Memory-front entries the disk has no record for (memo tables
+	// created for hashes whose jobs produced no durable fact yet):
+	// after the overlay pass above, memInfo holds exactly those.
+	for _, in := range t.mem.Info(0) {
+		if max > 0 && len(out) >= max {
+			break
+		}
+		if _, memOnly := memInfo[in.Hash]; memOnly {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// Purge implements Backend: both tiers forget everything, including
+// the on-disk history.
+func (t *Tiered) Purge() {
+	t.mem.Purge()
+	t.log.Purge()
+}
+
+// flushSummaries appends the memory front's live memo summaries to the
+// log, so restarts keep the refutation bookkeeping snapshots persist.
+func (t *Tiered) flushSummaries() {
+	for _, in := range t.mem.Info(0) {
+		if len(in.Memos) > 0 {
+			t.log.MergeRefuted(in.Hash, in.Memos)
+		}
+	}
+}
+
+// Export implements Backend: summaries are flushed first, then the
+// disk index (the full durable state) becomes the snapshot.
+func (t *Tiered) Export() Snapshot {
+	t.flushSummaries()
+	return t.log.Export()
+}
+
+// Import implements Backend: entries are merged into both tiers; the
+// count is the number of snapshot entries now represented on disk
+// (the disk tier never evicts, so everything non-empty survives).
+func (t *Tiered) Import(snap Snapshot) (int, error) {
+	if err := snap.Validate(); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, se := range snap.Entries {
+		if se.Hash == "" {
+			continue
+		}
+		if se.Bounds.Known() {
+			t.MergeBounds(se.Hash, se.Bounds)
+		}
+		if se.Tree.Width() > 0 {
+			t.PutDecomposition(se.Hash, se.Tree)
+		}
+		if len(se.Refuted) > 0 {
+			t.log.MergeRefuted(se.Hash, se.Refuted)
+		}
+		if _, ok := t.log.Bounds(se.Hash); ok || len(se.Refuted) > 0 {
+			n++
+		}
+	}
+	t.mem.restored.Add(int64(n))
+	return n, nil
+}
+
+// Sync flushes memo summaries and fsyncs the log's unsynced tail.
+func (t *Tiered) Sync() error {
+	t.flushSummaries()
+	return t.log.Sync()
+}
+
+// Compact flushes memo summaries and compacts the log.
+func (t *Tiered) Compact() error {
+	t.flushSummaries()
+	return t.log.Compact()
+}
+
+// Close flushes memo summaries and closes the log. Idempotent: every
+// call returns the first close's error, so both a service that owns
+// the backend and the operator code that built it can close safely.
+func (t *Tiered) Close() error {
+	t.closeMu.Lock()
+	defer t.closeMu.Unlock()
+	if t.closed {
+		return t.closeErr
+	}
+	t.closed = true
+	t.flushSummaries()
+	t.closeErr = t.log.Close()
+	return t.closeErr
+}
