@@ -17,8 +17,12 @@ BENCH_MEM_JSON ?= BENCH_PR8.json
 # gated by `make bench-persist-gate` (the disk-backed store tier PR's
 # baseline: cold solve+append vs warm restart with zero solver runs).
 BENCH_PERSIST_JSON ?= BENCH_PR9.json
+# Incremental-maintenance artifact produced by `make bench-incr` and
+# gated by `make bench-incr-gate` (the versioned-dataset PR's
+# baseline).
+BENCH_INCR_JSON ?= BENCH_PR10.json
 
-.PHONY: all build fmt fmt-check vet lint test race bench bench-exec bench-agg bench-gate bench-mem bench-mem-gate bench-persist bench-persist-gate crash-recovery warm-restart pprof-capture load-gate stress differential fuzz fuzz-long docs-check serve ci
+.PHONY: all build fmt fmt-check vet lint test race bench bench-exec bench-agg bench-gate bench-mem bench-mem-gate bench-persist bench-persist-gate bench-incr bench-incr-gate crash-recovery warm-restart pprof-capture load-gate stress differential fuzz fuzz-long docs-check serve ci
 
 all: build
 
@@ -114,6 +118,29 @@ bench-persist-gate:
 		-gate persist-warm/suite,persist-reopen/suite \
 		-calibrate persist-cold/ -quiet
 
+# This PR's benchmark: incremental dataset maintenance — per delta
+# batch, O(delta) layered index maintenance vs a full index rebuild vs
+# a full re-upload (re-parse + re-index), over delta sizes 1/100/10k
+# plus a mixed insert+delete bucket, with byte-identity, the
+# maintenance-beats-rebuild wall, and the unchanged-data fast paths
+# (zero index builds warm, parse-cache coalescing) enforced inside the
+# experiment. Writes $(BENCH_INCR_JSON).
+bench-incr:
+	$(GO) run ./cmd/benchtab -experiment incr -benchjson $(BENCH_INCR_JSON) -quiet
+
+# The incremental-maintenance gate CI runs on every PR: a fresh incr
+# run must not regress the maint suite's (calibrated) ns/op or its
+# machine-independent allocs/op >50% against the committed
+# $(BENCH_INCR_JSON); the rebuild entries calibrate machine speed out
+# of the timing ratios. (Per-batch times are sub-10ms and noisy, hence
+# the wide tolerance; the hard maint-beats-rebuild and identity walls
+# run inside the experiment itself.)
+bench-incr-gate:
+	$(GO) run ./cmd/benchtab -experiment incr \
+		-benchjson /tmp/BENCH_incr_fresh.json \
+		-compare $(BENCH_INCR_JSON) -tolerance 0.50 \
+		-gate incr-maint/ -calibrate incr-rebuild/ -quiet
+
 # The crash-recovery wall: kill -9 a child process mid-append and
 # mid-snapshot-save, then assert the reopened log serves an intact
 # contiguous prefix (torn tails truncated, never served corrupt), plus
@@ -166,4 +193,4 @@ docs-check:
 serve:
 	$(GO) run ./cmd/htdserve
 
-ci: fmt-check vet lint build race bench bench-gate bench-mem-gate bench-persist-gate crash-recovery warm-restart stress differential fuzz docs-check
+ci: fmt-check vet lint build race bench bench-gate bench-mem-gate bench-persist-gate bench-incr-gate crash-recovery warm-restart stress differential fuzz docs-check

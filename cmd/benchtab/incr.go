@@ -1,0 +1,522 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"time"
+
+	htd "repro"
+	"repro/internal/harness"
+	"repro/internal/join"
+)
+
+// incrExperiment is the incremental-maintenance benchmark behind
+// `make bench-incr` (BENCH_PR10.json): per delta-size bucket it applies
+// the same mutation sequence to a maintained base database three ways —
+//
+//   - maint: the dataset layer's delta path — MRel Insert/Delete plus
+//     Commit, which extends every maintained index with an O(delta)
+//     layer over the appended rows (collapsing layers only when the
+//     stack grows past its bound);
+//   - rebuild: the same deltas, but every commit drops the layers of
+//     the mutated relations first (ForceRebuild), so each registered
+//     index is rebuilt from scratch — what a server without layered
+//     maintenance would pay per mutation;
+//   - reupload: the pre-dataset workflow — the client re-ships the full
+//     materialised state and the server re-parses the text, re-dedups
+//     and rebuilds the version-1 view and rowset index (the per-query
+//     column indexes would then be rebuilt on top by the next query;
+//     that extra cost is not even charged here).
+//
+// Buckets cover delta sizes 1, 100 and 10k tuples per batch
+// (insert-only, the maintenance fast path) plus a mixed insert+delete
+// bucket, where commit-time compaction makes maintenance O(live) —
+// reported for honesty, not gated. Two walls run in-experiment before
+// anything is written:
+//
+//  1. identity: the query answer over each strategy's final state must
+//     be byte-identical (canonical rows) across all three paths;
+//  2. small-delta win: maintenance must beat the full rebuild per
+//     batch on the insert buckets — the asymptotic gap the layered
+//     indexes exist for.
+//
+// A final section measures the unchanged-data path of the redesigned
+// query API: a repeated dataset-reference query must hit the plan
+// cache and reuse every maintained index (zero builds), and a repeated
+// inline upload of the same text must coalesce in the parse cache
+// (zero re-parse) — both enforced as wall 3.
+func incrExperiment(ctx context.Context, cfg harness.Config, jsonPath string) (*harness.Table, error) {
+	const (
+		baseN  = 30000
+		domain = 30000
+	)
+	r := rand.New(rand.NewSource(10))
+	baseR := randRows(r, baseN, domain)
+	baseS := randRows(r, baseN, domain)
+	baseT := randRows(r, baseN, domain)
+
+	q, err := htd.ParseCQ("R(x,y), S(y,z).")
+	if err != nil {
+		return nil, err
+	}
+	h, err := q.Hypergraph()
+	if err != nil {
+		return nil, err
+	}
+	_, plan, ok, err := htd.OptimalWidth(ctx, h, cfg.KMax)
+	if err != nil || !ok {
+		return nil, fmt.Errorf("incr: no plan for the probe query (ok=%v err=%v)", ok, err)
+	}
+
+	type bucket struct {
+		name    string
+		delta   int // tuples inserted per batch
+		deletes int // live tuples deleted per batch (mixed bucket only)
+		rounds  int
+		gated   bool // wall 2: maint must beat rebuild per batch
+	}
+	buckets := []bucket{
+		{"delta1", 1, 0, 8, true},
+		{"delta100", 100, 0, 8, true},
+		{"delta10k", 10000, 0, 4, false},
+		{"mixed100", 100, 25, 6, false},
+	}
+
+	out := benchFile{
+		Experiment:  "incr",
+		GeneratedBy: "cmd/benchtab",
+		KMax:        cfg.KMax,
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+	}
+	t := &harness.Table{
+		Title: "Incremental maintenance: O(delta) layers vs full index rebuild vs full re-upload",
+		Headers: []string{"Bucket", "Δ/batch", "batches", "strategy",
+			"ms/batch", "allocs/batch", "KB/batch", "vs-rebuild"},
+	}
+
+	for _, b := range buckets {
+		// One deterministic delta sequence per bucket, shared by all
+		// three strategies; the reupload texts replay it on a mirror so
+		// each round's full materialised state is formatted outside the
+		// measurement window (the client holds the text; the server cost
+		// being measured is parse + dedup + index build).
+		br := rand.New(rand.NewSource(int64(100 + b.delta)))
+		deltas := make([]relDelta, b.rounds)
+		texts := make([]string, b.rounds)
+		mirror := map[string]*liveRel{
+			"R": newLiveRel(baseR), "S": newLiveRel(baseS),
+		}
+		for i := range deltas {
+			deltas[i] = randomDelta(br, b.delta, b.deletes, domain, mirror, i)
+			deltas[i].apply(mirror)
+			texts[i] = mirror["R"].text("R") + mirror["S"].text("S")
+		}
+
+		type strategy struct {
+			name string
+			run  func() (join.Database, memSample, error)
+		}
+		strategies := []strategy{
+			{"maint", func() (join.Database, memSample, error) {
+				return runDeltas(ctx, q, plan, baseR, baseS, deltas, false)
+			}},
+			{"rebuild", func() (join.Database, memSample, error) {
+				return runDeltas(ctx, q, plan, baseR, baseS, deltas, true)
+			}},
+			{"reupload", func() (join.Database, memSample, error) {
+				var final join.Database
+				s, _, err := measurePass(func() (any, error) {
+					for _, text := range texts {
+						db, err := join.ParseRelations(text)
+						if err != nil {
+							return nil, err
+						}
+						final = join.Database{}
+						for name, rel := range db {
+							final[name] = join.NewMRel(rel).View()
+						}
+					}
+					return nil, nil
+				})
+				return final, s, err
+			}},
+		}
+
+		n := float64(b.rounds)
+		var samples []memSample
+		var reference *join.Relation
+		for si, st := range strategies {
+			final, s, err := st.run()
+			if err != nil {
+				return nil, fmt.Errorf("bucket %s strategy %s: %w", b.name, st.name, err)
+			}
+			samples = append(samples, s)
+
+			// Wall 1: the query answer over the final state must be
+			// byte-identical across every maintenance path.
+			res, err := join.EvaluateCtx(ctx, q, final, plan, join.EvalOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("bucket %s strategy %s eval: %w", b.name, st.name, err)
+			}
+			canon, err := htd.CanonicalRows(res)
+			if err != nil {
+				return nil, err
+			}
+			if si == 0 {
+				reference = canon
+			} else if !reflect.DeepEqual(canon.Rows(), reference.Rows()) {
+				return nil, fmt.Errorf("bucket %s: strategy %s answers diverge from maint (%d rows vs %d)",
+					b.name, st.name, canon.Size(), reference.Size())
+			}
+
+			out.Benchmarks = append(out.Benchmarks, benchEntry{
+				Name:        "incr-" + st.name + "/" + b.name,
+				NsPerOp:     s.ns / n,
+				Ops:         b.rounds,
+				Solved:      b.rounds,
+				WallMS:      s.ns / 1e6,
+				Workers:     1,
+				Rounds:      b.rounds,
+				AllocsPerOp: s.allocs / n,
+				BytesPerOp:  s.bytes / n,
+				Notes: fmt.Sprintf("%d inserts + %d deletes per batch over %d base tuples/rel; %s",
+					b.delta, b.deletes, baseN, strategyNote(st.name)),
+			})
+		}
+		for si, st := range strategies {
+			s := samples[si]
+			t.AddRow(b.name, b.delta, b.rounds, st.name,
+				fmt.Sprintf("%.2f", s.ns/n/1e6),
+				fmt.Sprintf("%.0f", s.allocs/n),
+				fmt.Sprintf("%.0f", s.bytes/n/1024),
+				fmt.Sprintf("%.2fx", s.ns/samples[1].ns))
+		}
+
+		// Wall 2: on small insert deltas the layered maintenance must be
+		// strictly cheaper per batch than rebuilding every index.
+		if b.gated && samples[0].ns >= samples[1].ns {
+			return nil, fmt.Errorf(
+				"bucket %s: O(delta) maintenance (%.2f ms/batch) did not beat the full rebuild (%.2f ms/batch)",
+				b.name, samples[0].ns/n/1e6, samples[1].ns/n/1e6)
+		}
+	}
+
+	// Unchanged-data path: the redesigned API's whole point is that a
+	// repeat query against an unmutated dataset re-parses nothing and
+	// rebuilds nothing. Measured through the public planner, walled.
+	// The probe is the cyclic triangle: its minimum-width plan is a
+	// single bag, so every index the executor touches lives on a base
+	// relation — zero builds warm is achievable and therefore enforced.
+	// (Acyclic plans semijoin-filter relations per query and rebuild
+	// indexes over those intermediates; base indexes are still reused,
+	// as the bucket numbers above show.)
+	if err := incrUnchanged(ctx, baseR, baseS, baseT, &out, t); err != nil {
+		return nil, err
+	}
+
+	t.Notes = append(t.Notes,
+		"identical delta sequences per bucket; every strategy's final query answer verified byte-identical (canonical rows) before anything is written",
+		"maint = MRel Insert/Delete + Commit: every maintained index extended by an O(delta) layer (stack collapses amortised into the measured batches)",
+		"rebuild = same deltas, layers of mutated relations dropped before each commit: every registered index rebuilt from scratch",
+		"reupload = full materialised state re-parsed + re-deduped + rowset rebuilt per batch (per-query column indexes excluded — the next query pays those on top)",
+		"mixed bucket: deletes trigger commit-time tombstone compaction (O(live)) — reported, not gated",
+		"gate, enforced in-experiment: maint beats rebuild per batch on the small insert buckets; warm dataset query builds zero indexes; repeat inline parse coalesces")
+
+	if jsonPath != "" {
+		if err := writeBenchJSON(jsonPath, out); err != nil {
+			return nil, err
+		}
+		t.Notes = append(t.Notes, "benchmark JSON written to "+jsonPath)
+	}
+	return t, nil
+}
+
+// runDeltas replays one bucket's delta sequence against a fresh
+// maintained pair; only the replay rounds run inside the measurement
+// window (base construction and the index-capturing warmup query do
+// not). With forceRebuild, every commit of a mutated relation first
+// drops its layers — the full-rebuild baseline.
+func runDeltas(ctx context.Context, q join.Query, plan *htd.Decomposition,
+	baseR, baseS [][]int, deltas []relDelta, forceRebuild bool) (join.Database, memSample, error) {
+
+	mrels := map[string]*join.MRel{
+		"R": join.NewMRel(relFromRows(baseR)),
+		"S": join.NewMRel(relFromRows(baseS)),
+	}
+	db := join.Database{"R": mrels["R"].View(), "S": mrels["S"].View()}
+	// Warmup query: the executor builds and captures the column indexes
+	// the query needs; Commit adopts them as maintained sets, so the
+	// measured commits maintain realistic index stacks, not just the
+	// rowset.
+	if _, err := join.EvaluateCtx(ctx, q, db, plan, join.EvalOptions{}); err != nil {
+		return nil, memSample{}, err
+	}
+	for _, m := range mrels {
+		m.Commit()
+	}
+
+	s, _, err := measurePass(func() (any, error) {
+		for _, d := range deltas {
+			for _, name := range [2]string{"R", "S"} {
+				ins, del := d.ins[name], d.del[name]
+				if len(ins) == 0 && len(del) == 0 {
+					continue
+				}
+				m := mrels[name]
+				if _, _, err := m.Insert(ins); err != nil {
+					return nil, err
+				}
+				if _, _, err := m.Delete(del); err != nil {
+					return nil, err
+				}
+				if forceRebuild {
+					m.ForceRebuild()
+				}
+				m.Commit()
+			}
+		}
+		return nil, nil
+	})
+	if err != nil {
+		return nil, memSample{}, err
+	}
+	return join.Database{"R": mrels["R"].View(), "S": mrels["S"].View()}, s, nil
+}
+
+// incrUnchanged measures and walls the unchanged-data fast paths: a
+// repeated dataset-reference query (plan-cache hit, every index
+// reused, zero builds) and a repeated inline upload of identical text
+// (parse-cache hit, zero re-parse).
+func incrUnchanged(ctx context.Context, baseR, baseS, baseT [][]int,
+	out *benchFile, t *harness.Table) error {
+
+	q, err := htd.ParseCQ("R(x,y), S(y,z), T(z,x).")
+	if err != nil {
+		return err
+	}
+	svc := htd.NewService(htd.ServiceConfig{})
+	defer svc.Close()
+	planner := htd.NewQueryPlanner(svc)
+	db := join.Database{"R": relFromRows(baseR), "S": relFromRows(baseS), "T": relFromRows(baseT)}
+	if _, err := svc.Datasets().Put("", "incr-bench", db); err != nil {
+		return err
+	}
+
+	eval := func() (htd.QueryResult, float64, error) {
+		start := time.Now()
+		res, err := planner.Eval(ctx, htd.QueryRequest{Query: q, Dataset: "incr-bench"})
+		return res, float64(time.Since(start)), err
+	}
+	cold, coldNs, err := eval()
+	if err != nil {
+		return err
+	}
+	var warm htd.QueryResult
+	warmNs := -1.0
+	for i := 0; i < 3; i++ {
+		res, ns, err := eval()
+		if err != nil {
+			return err
+		}
+		if warmNs < 0 || ns < warmNs {
+			warm, warmNs = res, ns
+		}
+	}
+	// Wall 3a: the warm dataset-reference query re-plans nothing and
+	// re-indexes nothing — every index it touches is a maintained reuse.
+	if !warm.PlanCacheHit || warm.Exec.IndexBuilds != 0 || warm.Exec.IndexReuses == 0 {
+		return fmt.Errorf(
+			"warm dataset query is not the unchanged-data fast path: plan hit %v, %d index builds, %d reuses",
+			warm.PlanCacheHit, warm.Exec.IndexBuilds, warm.Exec.IndexReuses)
+	}
+	for _, e := range []struct {
+		name string
+		ns   float64
+		res  htd.QueryResult
+	}{{"incr-query-cold/ref", coldNs, cold}, {"incr-query-warm/ref", warmNs, warm}} {
+		out.Benchmarks = append(out.Benchmarks, benchEntry{
+			Name: e.name, NsPerOp: e.ns, Ops: 1, Solved: 1,
+			WallMS: e.ns / 1e6, Workers: 1, Rounds: 1,
+			Notes: fmt.Sprintf("%d answers @v%d; plan hit %v, %d index builds, %d reuses",
+				e.res.Rows.Size(), e.res.DatasetVersion, e.res.PlanCacheHit,
+				e.res.Exec.IndexBuilds, e.res.Exec.IndexReuses),
+		})
+	}
+	t.AddRow("unchanged", 0, 1, "query-cold", fmt.Sprintf("%.2f", coldNs/1e6), "", "", "")
+	t.AddRow("unchanged", 0, 1, "query-warm", fmt.Sprintf("%.2f", warmNs/1e6), "", "",
+		fmt.Sprintf("%.2fx", warmNs/coldNs))
+
+	// Inline compatibility path: identical text must coalesce in the
+	// parse cache instead of being re-parsed and re-indexed.
+	text := newLiveRel(baseR).text("R") + newLiveRel(baseS).text("S") + newLiveRel(baseT).text("T")
+	pc := svc.Datasets().ParseCache()
+	parseOnce := func() (float64, error) {
+		start := time.Now()
+		_, err := pc.Parse(ctx, text)
+		return float64(time.Since(start)), err
+	}
+	parseCold, err := parseOnce()
+	if err != nil {
+		return err
+	}
+	parseWarm, err := parseOnce()
+	if err != nil {
+		return err
+	}
+	if st := pc.Stats(); st.Misses != 1 || st.Hits < 1 {
+		return fmt.Errorf("repeat inline parse did not coalesce: %+v", st)
+	}
+	for _, e := range []struct {
+		name string
+		ns   float64
+	}{{"incr-parse-cold/inline", parseCold}, {"incr-parse-warm/inline", parseWarm}} {
+		out.Benchmarks = append(out.Benchmarks, benchEntry{
+			Name: e.name, NsPerOp: e.ns, Ops: 1, Solved: 1,
+			WallMS: e.ns / 1e6, Workers: 1, Rounds: 1,
+			Notes: fmt.Sprintf("%d-byte inline database text through the content-addressed parse cache", len(text)),
+		})
+	}
+	t.AddRow("unchanged", 0, 1, "parse-cold", fmt.Sprintf("%.2f", parseCold/1e6), "", "", "")
+	t.AddRow("unchanged", 0, 1, "parse-warm", fmt.Sprintf("%.2f", parseWarm/1e6), "", "",
+		fmt.Sprintf("%.2fx", parseWarm/parseCold))
+	return nil
+}
+
+// relDelta is one batch of the shared mutation sequence.
+type relDelta struct {
+	ins map[string][][]int
+	del map[string][][]int
+}
+
+func (d relDelta) apply(mirror map[string]*liveRel) {
+	for name, rows := range d.ins {
+		mirror[name].insert(rows)
+	}
+	for name, rows := range d.del {
+		mirror[name].remove(rows)
+	}
+}
+
+// randomDelta builds one batch: size fresh inserts (split across R and
+// S; a size-1 delta alternates relations) and deletes of currently
+// live tuples.
+func randomDelta(r *rand.Rand, size, deletes, domain int, mirror map[string]*liveRel, round int) relDelta {
+	d := relDelta{ins: map[string][][]int{}, del: map[string][][]int{}}
+	nR := size / 2
+	if size%2 == 1 && round%2 == 0 {
+		nR++
+	} else if size == 1 {
+		nR = 0
+	}
+	d.ins["R"] = randRows(r, nR, domain)
+	d.ins["S"] = randRows(r, size-nR, domain)
+	for _, name := range [2]string{"R", "S"} {
+		d.del[name] = mirror[name].sample(r, deletes/2)
+	}
+	return d
+}
+
+// liveRel mirrors one relation's live tuple set with insertion order,
+// for generating each round's full re-upload text.
+type liveRel struct {
+	rows [][]int
+	live []bool
+	idx  map[string]int
+}
+
+func newLiveRel(rows [][]int) *liveRel {
+	l := &liveRel{idx: make(map[string]int, len(rows))}
+	l.insert(rows)
+	return l
+}
+
+func liveKey(row []int) string {
+	var b strings.Builder
+	for _, v := range row {
+		b.WriteString(strconv.Itoa(v))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func (l *liveRel) insert(rows [][]int) {
+	for _, row := range rows {
+		k := liveKey(row)
+		if i, ok := l.idx[k]; ok {
+			l.live[i] = true
+			continue
+		}
+		l.idx[k] = len(l.rows)
+		l.rows = append(l.rows, row)
+		l.live = append(l.live, true)
+	}
+}
+
+func (l *liveRel) remove(rows [][]int) {
+	for _, row := range rows {
+		if i, ok := l.idx[liveKey(row)]; ok {
+			l.live[i] = false
+		}
+	}
+}
+
+// sample picks up to n distinct live tuples to delete.
+func (l *liveRel) sample(r *rand.Rand, n int) [][]int {
+	var out [][]int
+	for picks := 0; len(out) < n && picks < 4*n; picks++ {
+		i := r.Intn(len(l.rows))
+		if l.live[i] {
+			out = append(out, l.rows[i])
+			l.live[i] = false // mark so the same tuple is not sampled twice
+		}
+	}
+	for _, row := range out { // restore; remove() applies the delete for real
+		l.live[l.idx[liveKey(row)]] = true
+	}
+	return out
+}
+
+// text renders the live tuples as one rel block of the upload format.
+func (l *liveRel) text(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rel %s(c1,c2)\n", name)
+	for i, row := range l.rows {
+		if !l.live[i] {
+			continue
+		}
+		b.WriteString(strconv.Itoa(row[0]))
+		b.WriteByte(' ')
+		b.WriteString(strconv.Itoa(row[1]))
+		b.WriteByte('\n')
+	}
+	b.WriteString("end\n")
+	return b.String()
+}
+
+func randRows(r *rand.Rand, n, domain int) [][]int {
+	rows := make([][]int, n)
+	for i := range rows {
+		rows[i] = []int{r.Intn(domain), r.Intn(domain)}
+	}
+	return rows
+}
+
+func relFromRows(rows [][]int) *join.Relation {
+	rel := join.NewRelation("c1", "c2")
+	for _, row := range rows {
+		rel.Add(row...)
+	}
+	return rel
+}
+
+func strategyNote(name string) string {
+	return map[string]string{
+		"maint":    "delta-maintained layered indexes: Insert/Delete + Commit, O(delta) per batch",
+		"rebuild":  "same deltas, every registered index of mutated relations rebuilt from scratch per commit",
+		"reupload": "full state re-parsed + re-deduped + rowset index rebuilt per batch (column indexes excluded)",
+	}[name]
+}

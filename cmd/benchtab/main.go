@@ -9,7 +9,7 @@
 //	benchtab -experiment figure3 -csv scatter.csv
 //
 // Experiments: table1 table2 table3 table4 table5 figure1 figure3
-// ablation depth ghd race store query exec agg mem persist all
+// ablation depth ghd race store query exec agg mem persist incr all
 //
 // The race experiment compares the serial k = 1..kmax width ladder
 // against the optimal-width racing service pipeline; the store
@@ -28,7 +28,14 @@
 // the persist experiment measures the disk-backed store tier — cold
 // solve-and-append traffic vs a same-process warm pass vs a full
 // process restart over the same -store-dir, with zero solver runs
-// enforced on the restarted service (BENCH_PR9.json).
+// enforced on the restarted service (BENCH_PR9.json);
+// the incr experiment measures incremental dataset maintenance — per
+// delta batch, O(delta) layered index maintenance vs a full index
+// rebuild vs a full re-upload, across delta sizes 1/100/10k, plus the
+// unchanged-data fast paths (warm dataset query with zero index
+// builds, parse-cache coalescing), with byte-identity and a
+// maintenance-beats-rebuild wall enforced in-experiment
+// (BENCH_PR10.json).
 // With -benchjson any of them writes its measurements as a JSON
 // benchmark artifact (BENCH_PR5.json in CI) so the perf trajectory is
 // tracked across PRs.
@@ -206,6 +213,12 @@ func main() {
 				return err
 			}
 			fmt.Print(tab.Render())
+		case "incr":
+			tab, err := incrExperiment(ctx, cfg, *benchJSON)
+			if err != nil {
+				return err
+			}
+			fmt.Print(tab.Render())
 		case "depth":
 			fmt.Print(harness.DepthExperiment(ctx, []int{16, 32, 64, 128, 256, 512}).Render())
 		case "ghd":
@@ -231,7 +244,7 @@ func main() {
 	names := []string{*experiment}
 	if *experiment == "all" {
 		names = []string{"table1", "table2", "table3", "table4", "table5",
-			"figure1", "figure3", "ablation", "depth", "ghd", "race", "store", "query", "exec", "agg", "mem", "persist"}
+			"figure1", "figure3", "ablation", "depth", "ghd", "race", "store", "query", "exec", "agg", "mem", "persist", "incr"}
 	}
 	for _, n := range names {
 		if err := run(strings.TrimSpace(n)); err != nil {

@@ -31,12 +31,30 @@
 //	POST /decompose    one job; JSON body {"hypergraph":"r1(x,y), ...","k":2}
 //	POST /batch        NDJSON job lines in, NDJSON results out (streamed,
 //	                   input order)
+//	POST /query        answer a conjunctive query: over a named dataset
+//	                   ({"query":..., "dataset":"name"}) or inline data
+//	                   ({"query":..., "database":"rel R(a,b)\n1 2\nend"})
+//	POST /querybatch   NDJSON query lines in, NDJSON answers out
+//	PUT  /data/{name}  upload (create or replace) a named dataset
+//	GET  /data/{name}  dataset metadata: version, relations, tuples
+//	DEL  /data/{name}  drop a dataset
+//	POST /data/{name}/mutate  apply an NDJSON delta batch (one version bump)
+//	GET  /data         list the caller's datasets
 //	GET  /healthz      liveness probe
 //	GET  /stats        service counters (jobs, tokens, store, solver)
 //	GET  /cache        store introspection: counters + cached entries
 //	POST /cache/save   persist the store as a snapshot file
 //	POST /cache/load   merge a snapshot file into the store
 //	POST /cache/purge  drop all cached entries
+//
+// Datasets: PUT /data/{name} uploads a database once; queries then
+// reference it by name ({"dataset":"name"}) instead of shipping data
+// per request, reading an immutable snapshot whose relations carry
+// delta-maintained hash indexes (repeat queries skip parsing and index
+// building; responses report the snapshot's "dataset_version").
+// Mutation batches advance the version in O(delta); "at_version" pins a
+// query to a recent version (-dataset-retain controls how many stay
+// pinnable). Datasets are tenant-namespaced by X-Tenant.
 //
 // Persistence, two ways:
 //
@@ -97,6 +115,11 @@ func main() {
 		globalRate     = flag.Float64("global-rate", 0, "whole-server admissions per second feeding the fair-share pool (0 = sum of reserved rates only)")
 		maxBody        = flag.Int64("max-body", 0, "max bytes of one request body on single-shot endpoints (0 = 8 MiB)")
 		pprofAddr      = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+
+		dsMax    = flag.Int("dataset-max", 0, "max named datasets across all tenants (0 = 64)")
+		dsTuples = flag.Int("dataset-tuples", 0, "max live tuples per dataset (0 = 2M)")
+		dsRetain = flag.Int("dataset-retain", 0, "dataset versions kept pinnable for at_version reads (0 = 4)")
+		dsParse  = flag.Int("dataset-parse-cache", 0, "parsed inline databases cached (0 = 8)")
 	)
 	flag.Parse()
 
@@ -117,6 +140,12 @@ func main() {
 			MaxQueue:    *tenantQueue,
 			FairShare:   *fairShare,
 			GlobalRate:  *globalRate,
+		},
+		Datasets: htd.DatasetConfig{
+			MaxDatasets:    *dsMax,
+			MaxTuples:      *dsTuples,
+			Retain:         *dsRetain,
+			ParseCacheSize: *dsParse,
 		},
 	}
 	svc, err := htd.OpenService(cfg)

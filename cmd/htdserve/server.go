@@ -199,6 +199,11 @@ func newHandler(svc *htd.Service, batchLimit int, snapshotPath string, maxBody i
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /querybatch", s.handleQueryBatch)
+	mux.HandleFunc("GET /data", s.handleDataList)
+	mux.HandleFunc("PUT /data/{name}", s.handleDataPut)
+	mux.HandleFunc("GET /data/{name}", s.handleDataGet)
+	mux.HandleFunc("DELETE /data/{name}", s.handleDataDelete)
+	mux.HandleFunc("POST /data/{name}/mutate", s.handleDataMutate)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /cache", s.handleCache)
@@ -448,10 +453,23 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 type queryAPIRequest struct {
 	// Query is the conjunctive query: "R(x,y), S(y,z), T(z,x)."
 	Query string `json:"query"`
-	// Database holds the data as rel blocks in the document text format:
+	// Dataset names a server-resident dataset (PUT /data/{name}) to run
+	// over instead of shipping the data inline: the query reads a
+	// consistent snapshot whose relations carry maintained indexes, so
+	// repeat queries skip parsing and index building. Mutually
+	// exclusive with Database.
+	Dataset string `json:"dataset,omitempty"`
+	// AtVersion pins a dataset query to a specific version (0 =
+	// current). Evicted or future versions are a clear error, never
+	// wrong rows.
+	AtVersion uint64 `json:"at_version,omitempty"`
+	// Database is the inline compatibility path: the data shipped with
+	// the request as rel blocks in the document text format:
 	// "rel R(c1,c2)\n1 2\nend\n...". Relation names and arities must
-	// match the query's atoms.
-	Database string `json:"database"`
+	// match the query's atoms. Prefer Dataset for repeat queries —
+	// inline databases are parsed per distinct text (cached and
+	// single-flighted, but still shipped with every request).
+	Database string `json:"database,omitempty"`
 	// MaxWidth is the plan's width ceiling (0 = number of atoms, so a
 	// plan always exists).
 	MaxWidth int `json:"max_width,omitempty"`
@@ -500,6 +518,9 @@ type queryAPIResponse struct {
 	// carries the executor's effort counters for this query.
 	Parallelism int            `json:"parallelism,omitempty"`
 	Exec        *execStatsWire `json:"exec,omitempty"`
+	// DatasetVersion is the dataset version the query read (dataset
+	// requests only): the snapshot that answered it.
+	DatasetVersion uint64 `json:"dataset_version,omitempty"`
 	// Aggregate is the answer of an aggregate request; rows are never
 	// serialised for aggregates (RowCount stays 0).
 	Aggregate *aggWire `json:"aggregate,omitempty"`
@@ -530,6 +551,7 @@ type aggWire struct {
 // execStatsWire is the JSON shape of one query's executor counters.
 type execStatsWire struct {
 	IndexBuilds   int64 `json:"index_builds"`
+	IndexReuses   int64 `json:"index_reuses"`
 	IndexProbes   int64 `json:"index_probes"`
 	Semijoins     int64 `json:"semijoins"`
 	Joins         int64 `json:"joins"`
@@ -554,9 +576,21 @@ func (s *server) runQuery(ctx context.Context, a queryAPIRequest, tenant string)
 	if err != nil {
 		return &queryAPIResponse{Error: "parse query: " + err.Error(), err: errBadRequest}
 	}
-	db, err := htd.ParseRelations(a.Database)
-	if err != nil {
-		return &queryAPIResponse{Error: "parse database: " + err.Error(), err: errBadRequest}
+	var db htd.Database
+	if a.Dataset != "" {
+		if a.Database != "" {
+			return &queryAPIResponse{Error: "set exactly one of \"dataset\" or \"database\"", err: errBadRequest}
+		}
+		// db stays nil: the planner resolves the named dataset to a
+		// pinned snapshot behind the tenant wall.
+	} else {
+		// Inline path: parse through the registry's content-addressed
+		// cache — repeat uploads of the same text skip parsing, and
+		// concurrent identical uploads coalesce onto one parse.
+		db, err = s.svc.Datasets().ParseCache().Parse(ctx, a.Database)
+		if err != nil {
+			return &queryAPIResponse{Error: "parse database: " + err.Error(), err: errBadRequest}
+		}
 	}
 	var spec *htd.AggregateSpec
 	if strings.TrimSpace(a.Aggregate) != "" {
@@ -568,6 +602,8 @@ func (s *server) runQuery(ctx context.Context, a queryAPIRequest, tenant string)
 	}
 	res, err := s.planner.Eval(ctx, htd.QueryRequest{
 		Query:       q,
+		Dataset:     a.Dataset,
+		AtVersion:   a.AtVersion,
 		DB:          db,
 		MaxWidth:    a.MaxWidth,
 		MaxRows:     a.MaxRows,
@@ -588,7 +624,10 @@ func (s *server) runQuery(ctx context.Context, a queryAPIRequest, tenant string)
 			errors.Is(err, context.Canceled),
 			errors.Is(err, htd.ErrTenantLimited),
 			errors.Is(err, htd.ErrOverloaded),
-			errors.Is(err, htd.ErrServiceClosed):
+			errors.Is(err, htd.ErrServiceClosed),
+			errors.Is(err, htd.ErrDatasetNotFound),
+			errors.Is(err, htd.ErrDatasetVersionGone),
+			errors.Is(err, htd.ErrDatasetFutureVersion):
 			// Definitive or operational failures keep their own mapping.
 		default:
 			// Anything else is a malformed query/database combination
@@ -598,15 +637,17 @@ func (s *server) runQuery(ctx context.Context, a queryAPIRequest, tenant string)
 		return resp
 	}
 	resp := &queryAPIResponse{
-		OK:            true,
-		Width:         res.Width,
-		PlanCacheHit:  res.PlanCacheHit,
-		PlanCoalesced: res.PlanCoalesced,
-		PlanMS:        float64(res.PlanElapsed) / float64(time.Millisecond),
-		ExecMS:        float64(res.ExecElapsed) / float64(time.Millisecond),
-		Parallelism:   res.Parallelism,
+		OK:             true,
+		Width:          res.Width,
+		PlanCacheHit:   res.PlanCacheHit,
+		PlanCoalesced:  res.PlanCoalesced,
+		PlanMS:         float64(res.PlanElapsed) / float64(time.Millisecond),
+		ExecMS:         float64(res.ExecElapsed) / float64(time.Millisecond),
+		Parallelism:    res.Parallelism,
+		DatasetVersion: res.DatasetVersion,
 		Exec: &execStatsWire{
 			IndexBuilds:   res.Exec.IndexBuilds,
+			IndexReuses:   res.Exec.IndexReuses,
 			IndexProbes:   res.Exec.IndexProbes,
 			Semijoins:     res.Exec.Semijoins,
 			Joins:         res.Exec.Joins,
@@ -639,6 +680,14 @@ func (s *server) runQuery(ctx context.Context, a queryAPIRequest, tenant string)
 func (s *server) queryStatus(resp *queryAPIResponse) int {
 	switch {
 	case errors.Is(resp.err, errBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(resp.err, htd.ErrDatasetNotFound):
+		return http.StatusNotFound
+	case errors.Is(resp.err, htd.ErrDatasetVersionGone):
+		// 410, not 404: the version existed and is gone for good —
+		// clients should re-resolve to the current version, not retry.
+		return http.StatusGone
+	case errors.Is(resp.err, htd.ErrDatasetFutureVersion):
 		return http.StatusBadRequest
 	case errors.Is(resp.err, htd.ErrTenantLimited):
 		return http.StatusTooManyRequests
@@ -807,12 +856,18 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type statsResponse struct {
 	htd.ServiceStats
 	Query htd.QueryStats `json:"query"`
+	// Datasets and ParseCache cover the data half: registry totals and
+	// the inline-database parse cache's hit/miss/coalesce counters.
+	Datasets   htd.DatasetStats           `json:"datasets"`
+	ParseCache htd.DatasetParseCacheStats `json:"parse_cache"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
 		ServiceStats: s.svc.Stats(),
 		Query:        s.planner.Stats(),
+		Datasets:     s.svc.Datasets().Stats(),
+		ParseCache:   s.svc.Datasets().ParseCache().Stats(),
 	})
 }
 

@@ -3,12 +3,16 @@
 // the measurement half of the load wall. Each -tenant flag adds one
 // closed-loop-free traffic source (requests fire on a fixed schedule,
 // never waiting for earlier responses, so a slow server cannot hide
-// behind its own backpressure), with a hotkey or uniform query mix.
+// behind its own backpressure), with a hotkey or uniform query mix
+// and an optional write percentage: a tenant with writepct > 0
+// uploads its own named dataset before the run and turns that share
+// of its requests into NDJSON mutation batches against it, so the
+// wall is exercised by the write path too, inside each tenant's fence.
 //
 // Usage:
 //
 //	loadgen -url http://localhost:8080 -duration 10s \
-//	        -tenant greedy:400:hotkey -tenant polite:10:uniform \
+//	        -tenant greedy:400:hotkey -tenant polite:10:uniform:20 \
 //	        -out report.json
 //
 // Gate mode turns the report into an assertion (exit 1 on violation):
@@ -28,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"os"
@@ -41,20 +46,22 @@ import (
 	"repro/internal/query"
 )
 
-// tenantSpec is one -tenant flag: name, offered rate, and query mix.
+// tenantSpec is one -tenant flag: name, offered rate, query mix, and
+// the percentage of requests that are dataset mutations.
 type tenantSpec struct {
-	Name string
-	QPS  float64
-	Mix  string // "uniform" or "hotkey"
+	Name     string
+	QPS      float64
+	Mix      string  // "uniform" or "hotkey"
+	WritePct float64 // 0..100: share of requests that mutate the tenant's dataset
 }
 
-// tenantFlags parses repeated -tenant name:qps[:mix] flags.
+// tenantFlags parses repeated -tenant name:qps[:mix[:writepct]] flags.
 type tenantFlags []tenantSpec
 
 func (t *tenantFlags) String() string {
 	parts := make([]string, len(*t))
 	for i, s := range *t {
-		parts[i] = fmt.Sprintf("%s:%g:%s", s.Name, s.QPS, s.Mix)
+		parts[i] = fmt.Sprintf("%s:%g:%s:%g", s.Name, s.QPS, s.Mix, s.WritePct)
 	}
 	return strings.Join(parts, ",")
 }
@@ -70,24 +77,31 @@ func (t *tenantFlags) Set(v string) error {
 
 func parseTenantSpec(v string) (tenantSpec, error) {
 	parts := strings.Split(v, ":")
-	if len(parts) < 2 || len(parts) > 3 {
-		return tenantSpec{}, fmt.Errorf("tenant %q: want name:qps[:mix]", v)
+	if len(parts) < 2 || len(parts) > 4 {
+		return tenantSpec{}, fmt.Errorf("tenant %q: want name:qps[:mix[:writepct]]", v)
 	}
 	qps, err := strconv.ParseFloat(parts[1], 64)
 	if err != nil || qps <= 0 {
 		return tenantSpec{}, fmt.Errorf("tenant %q: qps must be a positive number", v)
 	}
 	mix := "uniform"
-	if len(parts) == 3 {
+	if len(parts) >= 3 {
 		mix = parts[2]
 	}
 	if mix != "uniform" && mix != "hotkey" {
 		return tenantSpec{}, fmt.Errorf("tenant %q: mix must be uniform or hotkey", v)
 	}
+	var writePct float64
+	if len(parts) == 4 {
+		writePct, err = strconv.ParseFloat(parts[3], 64)
+		if err != nil || writePct < 0 || writePct > 100 {
+			return tenantSpec{}, fmt.Errorf("tenant %q: writepct must be in 0..100", v)
+		}
+	}
 	if strings.TrimSpace(parts[0]) == "" {
 		return tenantSpec{}, fmt.Errorf("tenant %q: empty name", v)
 	}
-	return tenantSpec{Name: parts[0], QPS: qps, Mix: mix}, nil
+	return tenantSpec{Name: parts[0], QPS: qps, Mix: mix, WritePct: writePct}, nil
 }
 
 // config is everything run needs; main fills it from flags so tests
@@ -109,8 +123,9 @@ type TenantReport struct {
 	TargetQPS float64 `json:"target_qps,omitempty"`
 	Sent      int     `json:"sent"`
 	OK        int     `json:"ok"`
-	Rejected  int     `json:"rejected"` // 429s from the tenant wall
-	Errors    int     `json:"errors"`   // transport failures + non-200/429
+	Writes    int     `json:"writes,omitempty"` // mutation requests sent
+	Rejected  int     `json:"rejected"`         // 429s from the tenant wall
+	Errors    int     `json:"errors"`           // transport failures + non-200/429
 	// ErrorRate counts rejections as failures too: from the caller's
 	// seat a 429 is still a request that did not get an answer.
 	ErrorRate float64 `json:"error_rate"`
@@ -133,12 +148,17 @@ type sample struct {
 	latency time.Duration
 	status  int  // 0 for transport errors
 	ok      bool // status 200
+	write   bool // a mutation, not a query
 }
 
-// workload is a pool of pre-rendered /query bodies plus a mix policy.
+// workload is a pool of pre-rendered /query bodies plus a mix policy,
+// and — for write tenants — the dataset upload text and a pool of
+// NDJSON mutation batches against it.
 type workload struct {
-	bodies [][]byte
-	hotkey bool
+	bodies  [][]byte
+	hotkey  bool
+	dataset string   // rel-block upload for PUT /data/{name}; "" = read-only tenant
+	mutates [][]byte // NDJSON bodies for POST /data/{name}/mutate
 }
 
 func (w *workload) pick(r *rand.Rand) []byte {
@@ -150,7 +170,9 @@ func (w *workload) pick(r *rand.Rand) []byte {
 
 // buildWorkload renders size distinct random conjunctive-query
 // instances as /query request bodies, deterministically from seed.
-func buildWorkload(seed int64, size int, hotkey bool) *workload {
+// With writes, it additionally renders one dataset and a pool of
+// mutation batches against its relations.
+func buildWorkload(seed int64, size int, hotkey, writes bool) *workload {
 	r := rand.New(rand.NewSource(seed))
 	w := &workload{hotkey: hotkey}
 	for i := 0; i < size; i++ {
@@ -164,6 +186,43 @@ func buildWorkload(seed int64, size int, hotkey bool) *workload {
 			panic(err) // static shapes; cannot fail
 		}
 		w.bodies = append(w.bodies, body)
+	}
+	if writes {
+		_, db := query.RandomInstance(r, query.GenConfig{})
+		w.dataset = formatRelations(db)
+		names := make([]string, 0, len(db))
+		for name := range db {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for i := 0; i < size; i++ {
+			var b bytes.Buffer
+			enc := json.NewEncoder(&b)
+			for ops := 1 + r.Intn(2); ops > 0; ops-- {
+				name := names[r.Intn(len(names))]
+				rel := db[name]
+				op := "insert"
+				rows := make([][]int, 1+r.Intn(3))
+				for j := range rows {
+					row := make([]int, len(rel.Attrs))
+					for k := range row {
+						row[k] = r.Intn(8)
+					}
+					rows[j] = row
+				}
+				if r.Intn(3) == 0 && rel.Size() > 0 {
+					// Delete a tuple that may or may not still be live —
+					// set semantics make either a valid delta.
+					op = "delete"
+					rows = rows[:1]
+					rows[0] = rel.AppendRow(rows[0][:0], r.Intn(rel.Size()))
+				}
+				if err := enc.Encode(map[string]any{"op": op, "rel": name, "rows": rows}); err != nil {
+					panic(err)
+				}
+			}
+			w.mutates = append(w.mutates, b.Bytes())
+		}
 	}
 	return w
 }
@@ -218,17 +277,28 @@ func driveTenant(cfg config, spec tenantSpec, w *workload, client *http.Client, 
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for now := time.Now(); now.Before(deadline); now = <-ticker.C {
-		body := w.pick(r)
+		write := spec.WritePct > 0 && len(w.mutates) > 0 && r.Float64()*100 < spec.WritePct
+		var body []byte
+		if write {
+			body = w.mutates[r.Intn(len(w.mutates))]
+		} else {
+			body = w.pick(r)
+		}
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(body []byte) {
+		go func(body []byte, write bool) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			s := fireQuery(cfg, spec.Name, body, client)
+			var s sample
+			if write {
+				s = fireMutate(cfg, spec.Name, body, client)
+			} else {
+				s = fireQuery(cfg, spec.Name, body, client)
+			}
 			mu.Lock()
 			samples = append(samples, s)
 			mu.Unlock()
-		}(body)
+		}(body, write)
 	}
 	wg.Wait()
 	return samples
@@ -261,6 +331,63 @@ func fireQuery(cfg config, tenant string, body []byte, client *http.Client) samp
 	}
 }
 
+// fireMutate posts one NDJSON mutation batch against the tenant's own
+// dataset. Mutations flow through the same tenant wall as queries, so
+// their 429s land in the same Rejected bucket.
+func fireMutate(cfg config, tenant string, body []byte, client *http.Client) sample {
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		cfg.URL+"/data/"+tenantDataset+"/mutate", bytes.NewReader(body))
+	if err != nil {
+		return sample{write: true}
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set("X-Tenant", tenant)
+	start := time.Now()
+	resp, err := client.Do(req)
+	lat := time.Since(start)
+	if err != nil {
+		return sample{latency: lat, write: true}
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return sample{
+		latency: lat,
+		status:  resp.StatusCode,
+		ok:      resp.StatusCode == http.StatusOK,
+		write:   true,
+	}
+}
+
+// tenantDataset is the per-tenant dataset name write tenants mutate;
+// the tenant wall keys datasets by tenant, so every tenant gets its
+// own instance behind the same name.
+const tenantDataset = "load"
+
+// uploadDataset PUTs the tenant's dataset before the run starts.
+func uploadDataset(cfg config, tenant, text string, client *http.Client) error {
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		cfg.URL+"/data/"+tenantDataset, strings.NewReader(text))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("upload dataset for tenant %s: %w", tenant, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("upload dataset for tenant %s: status %d: %s", tenant, resp.StatusCode, blob)
+	}
+	return nil
+}
+
 // quantile returns the exact q-quantile of the given latencies
 // (nearest-rank); 0 when empty.
 func quantile(sorted []time.Duration, q float64) time.Duration {
@@ -281,6 +408,9 @@ func summarize(name string, spec tenantSpec, samples []sample) TenantReport {
 	rep := TenantReport{Tenant: name, Mix: spec.Mix, TargetQPS: spec.QPS, Sent: len(samples)}
 	lats := make([]time.Duration, 0, len(samples))
 	for _, s := range samples {
+		if s.write {
+			rep.Writes++
+		}
 		switch {
 		case s.ok:
 			rep.OK++
@@ -343,7 +473,13 @@ func run(cfg config) (*Report, error) {
 			// Every tenant draws from the same query pool (seeded once)
 			// so tenants contend for the same plans; only the pick order
 			// differs per tenant.
-			w := buildWorkload(cfg.Seed, cfg.PoolSize, hotkey)
+			w := buildWorkload(cfg.Seed, cfg.PoolSize, hotkey, spec.WritePct > 0)
+			if w.dataset != "" {
+				if err := uploadDataset(cfg, spec.Name, w.dataset, client); err != nil {
+					fmt.Fprintf(os.Stderr, "loadgen: %v (tenant %s driving reads only)\n", err, spec.Name)
+					spec.WritePct = 0
+				}
+			}
 			results[i] = result{spec, driveTenant(cfg, spec, w, client, cfg.Seed+int64(i)+1)}
 		}(i, spec)
 	}
@@ -453,7 +589,7 @@ func main() {
 		gateErrRate = flag.Float64("gate-error-rate", 0, "gate: max error rate (429s included) for the gated tenant")
 		gateOverall = flag.Float64("gate-overall-p99-ms", 0, "gate: whole-server p99 envelope (0 = unchecked)")
 	)
-	flag.Var(&tenants, "tenant", "traffic source name:qps[:mix] (mix: uniform|hotkey); repeatable")
+	flag.Var(&tenants, "tenant", "traffic source name:qps[:mix[:writepct]] (mix: uniform|hotkey; writepct: 0..100 share of dataset mutations); repeatable")
 	flag.Parse()
 
 	rep, err := run(config{

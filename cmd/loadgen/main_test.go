@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -11,9 +13,12 @@ import (
 
 func TestParseTenantSpec(t *testing.T) {
 	good := map[string]tenantSpec{
-		"a:5":           {Name: "a", QPS: 5, Mix: "uniform"},
-		"b:2.5:hotkey":  {Name: "b", QPS: 2.5, Mix: "hotkey"},
-		"c:100:uniform": {Name: "c", QPS: 100, Mix: "uniform"},
+		"a:5":              {Name: "a", QPS: 5, Mix: "uniform"},
+		"b:2.5:hotkey":     {Name: "b", QPS: 2.5, Mix: "hotkey"},
+		"c:100:uniform":    {Name: "c", QPS: 100, Mix: "uniform"},
+		"d:10:uniform:25":  {Name: "d", QPS: 10, Mix: "uniform", WritePct: 25},
+		"e:10:hotkey:0":    {Name: "e", QPS: 10, Mix: "hotkey"},
+		"f:10:uniform:100": {Name: "f", QPS: 10, Mix: "uniform", WritePct: 100},
 	}
 	for in, want := range good {
 		got, err := parseTenantSpec(in)
@@ -25,7 +30,8 @@ func TestParseTenantSpec(t *testing.T) {
 			t.Errorf("parseTenantSpec(%q) = %+v, want %+v", in, got, want)
 		}
 	}
-	for _, bad := range []string{"", "a", "a:0", "a:-1", "a:x", "a:1:weird", ":1", "a:1:hotkey:extra"} {
+	for _, bad := range []string{"", "a", "a:0", "a:-1", "a:x", "a:1:weird", ":1",
+		"a:1:hotkey:extra", "a:1:uniform:-1", "a:1:uniform:101", "a:1:uniform:5:6"} {
 		if _, err := parseTenantSpec(bad); err == nil {
 			t.Errorf("parseTenantSpec(%q) accepted, want error", bad)
 		}
@@ -52,8 +58,8 @@ func TestQuantileNearestRank(t *testing.T) {
 }
 
 func TestBuildWorkloadDeterministicAndHotkey(t *testing.T) {
-	a := buildWorkload(7, 8, false)
-	b := buildWorkload(7, 8, false)
+	a := buildWorkload(7, 8, false, false)
+	b := buildWorkload(7, 8, false, false)
 	if len(a.bodies) != 8 || len(b.bodies) != 8 {
 		t.Fatalf("pool sizes %d/%d, want 8", len(a.bodies), len(b.bodies))
 	}
@@ -61,6 +67,10 @@ func TestBuildWorkloadDeterministicAndHotkey(t *testing.T) {
 		if string(a.bodies[i]) != string(b.bodies[i]) {
 			t.Fatalf("workload not deterministic at index %d", i)
 		}
+	}
+	if a.dataset != "" || len(a.mutates) != 0 {
+		t.Fatalf("read-only workload grew write artifacts: dataset %d bytes, %d mutation bodies",
+			len(a.dataset), len(a.mutates))
 	}
 	// Bodies must be valid /query payloads.
 	var payload struct {
@@ -75,6 +85,49 @@ func TestBuildWorkloadDeterministicAndHotkey(t *testing.T) {
 	}
 }
 
+func TestBuildWorkloadWrites(t *testing.T) {
+	a := buildWorkload(7, 8, false, true)
+	b := buildWorkload(7, 8, false, true)
+	if a.dataset == "" || len(a.mutates) != 8 {
+		t.Fatalf("write workload missing artifacts: dataset %d bytes, %d mutation bodies",
+			len(a.dataset), len(a.mutates))
+	}
+	if a.dataset != b.dataset {
+		t.Fatal("write workload dataset not deterministic")
+	}
+	for i := range a.mutates {
+		if string(a.mutates[i]) != string(b.mutates[i]) {
+			t.Fatalf("mutation pool not deterministic at index %d", i)
+		}
+	}
+	// Every mutation body must be NDJSON the mutate endpoint accepts:
+	// one op object per line with a known op and non-empty rows.
+	for _, body := range a.mutates {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		n := 0
+		for {
+			var m struct {
+				Op   string  `json:"op"`
+				Rel  string  `json:"rel"`
+				Rows [][]int `json:"rows"`
+			}
+			if err := dec.Decode(&m); err != nil {
+				if err == io.EOF {
+					break
+				}
+				t.Fatalf("mutation body not NDJSON: %v\n%s", err, body)
+			}
+			n++
+			if (m.Op != "insert" && m.Op != "delete") || m.Rel == "" || len(m.Rows) == 0 {
+				t.Fatalf("malformed mutation op: %+v", m)
+			}
+		}
+		if n == 0 {
+			t.Fatal("empty mutation body")
+		}
+	}
+}
+
 // stubServer imitates the tenant wall: tenant "greedy" has a hard
 // budget of maxGreedy requests, everything else always answers 200.
 func stubServer(t *testing.T, maxGreedy int) (*httptest.Server, *sync.Map) {
@@ -82,14 +135,19 @@ func stubServer(t *testing.T, maxGreedy int) (*httptest.Server, *sync.Map) {
 	var counts sync.Map // tenant -> *int under mu
 	var mu sync.Mutex
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		switch r.URL.Path {
-		case "/healthz":
+		switch {
+		case r.URL.Path == "/healthz":
 			w.WriteHeader(http.StatusOK)
 			return
-		case "/stats":
+		case r.URL.Path == "/stats":
 			w.Write([]byte(`{"Tenants":{}}`))
 			return
-		case "/query":
+		case r.URL.Path == "/data/load" && r.Method == http.MethodPut:
+			w.Write([]byte(`{"name":"load","version":1}`))
+			return
+		case r.URL.Path == "/data/load/mutate" && r.Method == http.MethodPost:
+			// Writes flow through the same budget as queries below.
+		case r.URL.Path == "/query":
 		default:
 			http.NotFound(w, r)
 			return
@@ -128,7 +186,7 @@ func TestRunAgainstStub(t *testing.T) {
 		PoolSize: 4,
 		Tenants: []tenantSpec{
 			{Name: "greedy", QPS: 200, Mix: "hotkey"},
-			{Name: "polite", QPS: 40, Mix: "uniform"},
+			{Name: "polite", QPS: 40, Mix: "uniform", WritePct: 50},
 		},
 	})
 	if err != nil {
@@ -150,6 +208,12 @@ func TestRunAgainstStub(t *testing.T) {
 	}
 	if polite.Errors != 0 || polite.Rejected != 0 {
 		t.Fatalf("polite tenant harmed by stub: %+v", polite)
+	}
+	if polite.Writes == 0 || polite.Writes == polite.Sent {
+		t.Fatalf("polite tenant's 50%% write mix did not mix: %+v", polite)
+	}
+	if greedy.Writes != 0 {
+		t.Fatalf("read-only greedy tenant sent writes: %+v", greedy)
 	}
 	if polite.P99MS <= 0 || polite.P50MS > polite.P99MS {
 		t.Fatalf("implausible polite latencies: %+v", polite)

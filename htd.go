@@ -29,6 +29,7 @@ import (
 	"io"
 
 	"repro/internal/balgo"
+	"repro/internal/dataset"
 	"repro/internal/decomp"
 	"repro/internal/detk"
 	"repro/internal/hypergraph"
@@ -375,6 +376,80 @@ type QueryExecStats = join.ExecStats
 
 // NewQueryPlanner returns a planner executing queries over svc.
 func NewQueryPlanner(svc *Service) *QueryPlanner { return query.NewPlanner(svc) }
+
+// DatasetRegistry is the named-dataset registry behind a Service
+// (Service.Datasets()): tenant-namespaced, server-resident, versioned
+// databases whose relations carry delta-maintained hash indexes.
+// Upload once with Put, query many times by name (QueryRequest.Dataset)
+// — repeat queries skip parsing and index building — and mutate with
+// tuple deltas that advance the version in O(delta) instead of
+// rebuilding. Prefer this over shipping databases inline with every
+// request; the inline QueryRequest.DB path remains supported for
+// self-contained one-shot queries.
+type DatasetRegistry = dataset.Registry
+
+// DatasetConfig bounds a DatasetRegistry (ServiceConfig.Datasets):
+// dataset count, per-dataset tuples, retained pinnable versions, and
+// the inline-database parse cache size.
+type DatasetConfig = dataset.Config
+
+// Dataset is one named, versioned database. Mutation batches advance
+// its version by exactly one; every version publishes an immutable
+// copy-on-write snapshot, so in-flight queries read a consistent
+// version while writers advance.
+type Dataset = dataset.Dataset
+
+// DatasetSnapshot is one immutable published dataset version.
+type DatasetSnapshot = dataset.Snapshot
+
+// DatasetMutation is one delta line of a mutation batch: insert or
+// delete of a tuple batch against one relation (POST /data/{name}/mutate).
+type DatasetMutation = dataset.Mutation
+
+// DatasetMutationResult reports one committed mutation batch: the new
+// version and insert/dedup/delete/miss counts.
+type DatasetMutationResult = dataset.MutationResult
+
+// DatasetInfo is the metadata view of a dataset (GET /data/{name}).
+type DatasetInfo = dataset.Info
+
+// DatasetRelInfo describes one relation of a dataset version.
+type DatasetRelInfo = dataset.RelInfo
+
+// DatasetStats aggregates registry-wide counters (for /stats).
+type DatasetStats = dataset.Stats
+
+// DatasetParseCache is the single-flight, content-addressed cache of
+// parsed inline databases (DatasetRegistry.ParseCache()): concurrent
+// identical inline uploads pay one parse and share captured indexes.
+type DatasetParseCache = dataset.ParseCache
+
+// DatasetParseCacheStats counts parse-cache outcomes.
+type DatasetParseCacheStats = dataset.ParseCacheStats
+
+// Dataset sentinel errors.
+var (
+	// ErrDatasetNotFound: no dataset with that name for the tenant.
+	ErrDatasetNotFound = dataset.ErrNotFound
+	// ErrDatasetVersionGone: the pinned version fell out of the
+	// retention window (or the dataset was replaced).
+	ErrDatasetVersionGone = dataset.ErrVersionGone
+	// ErrDatasetFutureVersion: the pinned version does not exist yet.
+	ErrDatasetFutureVersion = dataset.ErrFutureVersion
+	// ErrDatasetLimit: a registry or per-dataset tuple cap would be
+	// exceeded.
+	ErrDatasetLimit = dataset.ErrLimit
+)
+
+// MaintainedRelation is a relation under incremental maintenance: set
+// semantics, tombstoned deletes with compaction at commit, and hash
+// indexes maintained as layered deltas instead of rebuilt. Datasets
+// hold one per relation; reach them through DatasetRegistry.
+type MaintainedRelation = join.MRel
+
+// NewMaintainedRelation puts a relation under incremental maintenance
+// (deduplicating it — relations under maintenance are sets).
+func NewMaintainedRelation(r *Relation) *MaintainedRelation { return join.NewMRel(r) }
 
 // AggregateSpec is one aggregate head over a conjunctive query's
 // answers: COUNT, COUNT DISTINCT over a projection, or SUM/MIN/MAX of

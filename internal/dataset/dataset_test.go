@@ -1,0 +1,347 @@
+package dataset
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/join"
+)
+
+func mustDB(t *testing.T, text string) join.Database {
+	t.Helper()
+	db, err := join.ParseRelations(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+const twoRelText = "rel R(a,b)\n1 2\n3 4\nend\nrel S(b,c)\n2 5\n4 6\nend\n"
+
+func newTestRegistry() *Registry {
+	return NewRegistry(Config{Retain: 3})
+}
+
+func TestPutGetDropLifecycle(t *testing.T) {
+	g := newTestRegistry()
+	v, err := g.Put("t1", "d", mustDB(t, twoRelText))
+	if err != nil || v != 1 {
+		t.Fatalf("Put = (%d, %v), want (1, nil)", v, err)
+	}
+	if _, ok := g.Get("t1", "d"); !ok {
+		t.Fatal("dataset missing after Put")
+	}
+	// Tenant wall: another tenant cannot see it.
+	if _, ok := g.Get("t2", "d"); ok {
+		t.Fatal("dataset visible across tenants")
+	}
+	if _, err := g.Resolve("t2", "d", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cross-tenant Resolve = %v, want ErrNotFound", err)
+	}
+	// Replacement continues the version counter.
+	v, err = g.Put("t1", "d", mustDB(t, twoRelText))
+	if err != nil || v != 2 {
+		t.Fatalf("replace Put = (%d, %v), want (2, nil)", v, err)
+	}
+	if !g.Drop("t1", "d") {
+		t.Fatal("Drop reported missing")
+	}
+	if g.Drop("t1", "d") {
+		t.Fatal("second Drop reported present")
+	}
+}
+
+func TestMutateVersionsAndCounts(t *testing.T) {
+	g := newTestRegistry()
+	if _, err := g.Put("", "d", mustDB(t, twoRelText)); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := g.Get("", "d")
+
+	res, err := d.Mutate([]Mutation{
+		{Op: "insert", Rel: "R", Rows: [][]int{{5, 6}, {1, 2}}}, // {1,2} already live
+		{Op: "delete", Rel: "S", Rows: [][]int{{2, 5}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MutationResult{Version: 2, Inserted: 1, Deduped: 1, Deleted: 1, Compacted: true}
+	if res != want {
+		t.Fatalf("Mutate = %+v, want %+v", res, want)
+	}
+	snap, err := d.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.DB["R"].Sorted(); !reflect.DeepEqual(got, [][]int{{1, 2}, {3, 4}, {5, 6}}) {
+		t.Fatalf("R after batch = %v", got)
+	}
+	if got := snap.DB["S"].Sorted(); !reflect.DeepEqual(got, [][]int{{4, 6}}) {
+		t.Fatalf("S after batch = %v", got)
+	}
+}
+
+// Satellite edge case: delete of a never-inserted tuple is a counted
+// no-op that still commits a version.
+func TestDeleteNeverInserted(t *testing.T) {
+	g := newTestRegistry()
+	g.Put("", "d", mustDB(t, twoRelText))
+	d, _ := g.Get("", "d")
+	res, err := d.Mutate([]Mutation{{Op: "delete", Rel: "R", Rows: [][]int{{9, 9}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missed != 1 || res.Deleted != 0 || res.Version != 2 {
+		t.Fatalf("Mutate = %+v", res)
+	}
+	snap, _ := d.At(0)
+	if snap.DB["R"].Size() != 2 {
+		t.Fatal("missed delete changed rows")
+	}
+}
+
+// Satellite edge case: insert and delete of the same tuple inside one
+// batch nets to absence — ops apply sequentially.
+func TestInsertDeleteSameBatch(t *testing.T) {
+	g := newTestRegistry()
+	g.Put("", "d", mustDB(t, twoRelText))
+	d, _ := g.Get("", "d")
+	res, err := d.Mutate([]Mutation{
+		{Op: "insert", Rel: "R", Rows: [][]int{{7, 7}}},
+		{Op: "delete", Rel: "R", Rows: [][]int{{7, 7}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 || res.Deleted != 1 {
+		t.Fatalf("Mutate = %+v", res)
+	}
+	snap, _ := d.At(0)
+	if got := snap.DB["R"].Sorted(); !reflect.DeepEqual(got, [][]int{{1, 2}, {3, 4}}) {
+		t.Fatalf("R = %v, want original rows", got)
+	}
+	// And the reverse order: delete-then-insert leaves the tuple live.
+	if _, err := d.Mutate([]Mutation{
+		{Op: "delete", Rel: "R", Rows: [][]int{{1, 2}}},
+		{Op: "insert", Rel: "R", Rows: [][]int{{1, 2}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ = d.At(0)
+	if got := snap.DB["R"].Sorted(); !reflect.DeepEqual(got, [][]int{{1, 2}, {3, 4}}) {
+		t.Fatalf("R after delete+reinsert = %v", got)
+	}
+}
+
+// Satellite edge case: empty-relation transitions — drain a relation
+// to zero rows, query the snapshot, refill.
+func TestEmptyRelationTransitions(t *testing.T) {
+	g := newTestRegistry()
+	g.Put("", "d", mustDB(t, twoRelText))
+	d, _ := g.Get("", "d")
+	if _, err := d.Mutate([]Mutation{{Op: "delete", Rel: "S", Rows: [][]int{{2, 5}, {4, 6}}}}); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := d.At(0)
+	if snap.DB["S"].Size() != 0 || snap.DB["S"].Rows() != nil {
+		t.Fatalf("S not empty: %v", snap.DB["S"].Rows())
+	}
+	if _, err := d.Mutate([]Mutation{{Op: "insert", Rel: "S", Rows: [][]int{{8, 9}}}}); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ = d.At(0)
+	if got := snap.DB["S"].Sorted(); !reflect.DeepEqual(got, [][]int{{8, 9}}) {
+		t.Fatalf("S refilled = %v", got)
+	}
+}
+
+// Satellite edge case: pinning an evicted or future version is a clear
+// error, never a different version's rows.
+func TestVersionPinningErrors(t *testing.T) {
+	g := newTestRegistry() // Retain: 3
+	g.Put("", "d", mustDB(t, twoRelText))
+	d, _ := g.Get("", "d")
+	for i := 0; i < 5; i++ {
+		if _, err := d.Mutate([]Mutation{{Op: "insert", Rel: "R", Rows: [][]int{{10 + i, i}}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Versions now 1..6; retain 3 keeps 4, 5, 6.
+	if _, err := d.At(2); !errors.Is(err, ErrVersionGone) {
+		t.Fatalf("At(evicted) = %v, want ErrVersionGone", err)
+	}
+	if _, err := d.At(99); !errors.Is(err, ErrFutureVersion) {
+		t.Fatalf("At(future) = %v, want ErrFutureVersion", err)
+	}
+	snap, err := d.At(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 5 || snap.DB["R"].Size() != 2+4 {
+		t.Fatalf("At(5) = version %d with %d rows", snap.Version, snap.DB["R"].Size())
+	}
+	// Replacement evicts every pinnable version.
+	g.Put("", "d", mustDB(t, twoRelText))
+	if _, err := d.At(5); !errors.Is(err, ErrVersionGone) {
+		t.Fatalf("At(pre-replacement) = %v, want ErrVersionGone", err)
+	}
+}
+
+// Satellite edge case: a mutation racing a long-running query — the
+// query's resolved snapshot must keep serving its version's rows while
+// the writer advances (snapshot isolation), under -race.
+func TestMutationRacesPinnedQuery(t *testing.T) {
+	g := newTestRegistry()
+	g.Put("", "d", mustDB(t, twoRelText))
+	d, _ := g.Get("", "d")
+	snap, err := d.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantR := snap.DB["R"].Sorted()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			d.Mutate([]Mutation{
+				{Op: "insert", Rel: "R", Rows: [][]int{{100 + i, i}}},
+				{Op: "delete", Rel: "R", Rows: [][]int{{100 + i - 1, i - 1}}},
+			})
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if got := snap.DB["R"].Sorted(); !reflect.DeepEqual(got, wantR) {
+			t.Fatalf("pinned snapshot drifted at read %d", i)
+		}
+	}
+	wg.Wait()
+	if v := d.Version(); v != 51 {
+		t.Fatalf("version = %d, want 51", v)
+	}
+}
+
+func TestMutateValidationLeavesStateUntouched(t *testing.T) {
+	g := newTestRegistry()
+	g.Put("", "d", mustDB(t, twoRelText))
+	d, _ := g.Get("", "d")
+	cases := [][]Mutation{
+		{{Op: "upsert", Rel: "R", Rows: [][]int{{1, 2}}}},
+		{{Op: "insert", Rel: "nope", Rows: [][]int{{1, 2}}}},
+		{{Op: "insert", Rel: "R", Rows: [][]int{{1, 2, 3}}}},
+		// A valid first op must not apply when a later op is invalid.
+		{{Op: "insert", Rel: "R", Rows: [][]int{{7, 7}}}, {Op: "insert", Rel: "R", Rows: [][]int{{1}}}},
+	}
+	for i, batch := range cases {
+		if _, err := d.Mutate(batch); err == nil {
+			t.Fatalf("case %d: invalid batch accepted", i)
+		}
+	}
+	if v := d.Version(); v != 1 {
+		t.Fatalf("version advanced to %d on invalid batches", v)
+	}
+	snap, _ := d.At(0)
+	if snap.DB["R"].Size() != 2 {
+		t.Fatal("invalid batch mutated rows")
+	}
+}
+
+func TestRegistryLimits(t *testing.T) {
+	g := NewRegistry(Config{MaxDatasets: 1, MaxTuples: 3})
+	if _, err := g.Put("", "a", mustDB(t, "rel R(a)\n1\n2\nend\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Put("", "b", mustDB(t, "rel R(a)\n1\nend\n")); !errors.Is(err, ErrLimit) {
+		t.Fatalf("MaxDatasets breach = %v, want ErrLimit", err)
+	}
+	d, _ := g.Get("", "a")
+	if _, err := d.Mutate([]Mutation{{Op: "insert", Rel: "R", Rows: [][]int{{3}, {4}}}}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("MaxTuples breach = %v, want ErrLimit", err)
+	}
+	// One insert fits (2 live + 1 = 3).
+	if _, err := d.Mutate([]Mutation{{Op: "insert", Rel: "R", Rows: [][]int{{3}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Put("", "big", mustDB(t, "rel R(a)\n1\n2\n3\n4\nend\n")); !errors.Is(err, ErrLimit) {
+		t.Fatalf("Put over MaxTuples = %v, want ErrLimit", err)
+	}
+}
+
+func TestValidNames(t *testing.T) {
+	g := newTestRegistry()
+	for _, bad := range []string{"", string(make([]byte, 200)), "a\nb", "a\x00b"} {
+		if _, err := g.Put("", bad, mustDB(t, twoRelText)); err == nil {
+			t.Fatalf("name %q accepted", bad)
+		}
+	}
+}
+
+func TestParseCacheHitAndCoalesce(t *testing.T) {
+	p := NewParseCache(2)
+	ctx := context.Background()
+
+	db1, err := p.Parse(ctx, twoRelText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := p.Parse(ctx, twoRelText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not just equal — the same parsed object, indexes and all.
+	if !reflect.DeepEqual(db1, db2) || db1["R"] != db2["R"] {
+		t.Fatal("repeat parse did not share the cached database")
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+
+	// Errors are returned, not cached.
+	if _, err := p.Parse(ctx, "rel broken(\n"); err == nil {
+		t.Fatal("malformed text parsed")
+	}
+	if _, err := p.Parse(ctx, "rel broken(\n"); err == nil {
+		t.Fatal("malformed text cached as success")
+	}
+
+	// Eviction past capacity.
+	p.Parse(ctx, "rel A(a)\n1\nend\n")
+	p.Parse(ctx, "rel B(a)\n1\nend\n")
+	before := p.Stats().Hits
+	p.Parse(ctx, twoRelText) // evicted by A/B, re-parsed
+	if p.Stats().Hits != before {
+		t.Fatal("evicted entry served as a hit")
+	}
+}
+
+func TestParseCacheConcurrentIdentical(t *testing.T) {
+	p := NewParseCache(4)
+	const n = 16
+	var wg sync.WaitGroup
+	dbs := make([]join.Database, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			db, err := p.Parse(context.Background(), twoRelText)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			dbs[i] = db
+		}(i)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Misses+st.Hits+st.Coalesced < n {
+		t.Fatalf("stats don't cover all calls: %+v", st)
+	}
+	if st.Misses > n/2 {
+		t.Fatalf("%d misses across %d concurrent identical parses — no sharing", st.Misses, n)
+	}
+}

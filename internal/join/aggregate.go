@@ -799,6 +799,7 @@ func AggregateCtx(ctx context.Context, q Query, db Database, d *decomp.Decomp, s
 	if opts.Stats != nil {
 		*opts.Stats = ExecStats{
 			IndexBuilds:   e.indexBuilds.Load(),
+			IndexReuses:   e.indexReuses.Load(),
 			IndexProbes:   e.indexProbes.Load(),
 			Semijoins:     e.semijoins.Load(),
 			Joins:         e.joins.Load(),

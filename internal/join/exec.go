@@ -44,8 +44,12 @@ type TokenSource interface {
 // pointing EvalOptions.Stats at a zero value.
 type ExecStats struct {
 	// IndexBuilds and IndexProbes count hash indexes built and tuples
-	// probed against them (KernelIndexed only).
+	// probed against them (KernelIndexed only). IndexReuses counts the
+	// builds avoided because a base relation arrived with a maintained
+	// index for the probed column set (dataset snapshots, cached inline
+	// databases) — the unchanged-data fast path.
 	IndexBuilds int64
+	IndexReuses int64
 	IndexProbes int64
 	// Semijoins and Joins count relational operations executed.
 	Semijoins int64
@@ -87,6 +91,7 @@ type executor struct {
 	err error // first failure; later (usually cancellation) errors are noise
 
 	indexBuilds   atomic.Int64
+	indexReuses   atomic.Int64
 	indexProbes   atomic.Int64
 	semijoins     atomic.Int64
 	joins         atomic.Int64
@@ -115,6 +120,7 @@ func evaluateIndexed(ctx context.Context, q Query, db Database, d *decomp.Decomp
 	if opts.Stats != nil {
 		*opts.Stats = ExecStats{
 			IndexBuilds:   e.indexBuilds.Load(),
+			IndexReuses:   e.indexReuses.Load(),
 			IndexProbes:   e.indexProbes.Load(),
 			Semijoins:     e.semijoins.Load(),
 			Joins:         e.joins.Load(),
@@ -237,6 +243,30 @@ func (e *executor) index(r *Relation, attrs []string) (*hashIndex, error) {
 	return buildIndex(r, attrs, e.g)
 }
 
+// indexStack resolves the index layers to probe s on: a maintained
+// stack when s carries one for the shared column set (counted as a
+// reuse — no build at all), otherwise a fresh single index that is
+// captured back into s's IndexSet so later queries at the same dataset
+// version — and the next mutation's delta maintenance — inherit it.
+// Only base relations with an IndexSet take this path; operator
+// outputs keep the plain build-once route of index().
+func (e *executor) indexStack(s *Relation, shared []string) ([]*hashIndex, error) {
+	cols, err := s.attrIndex(shared)
+	if err != nil {
+		return nil, err
+	}
+	if stack := s.indexes.lookup(cols); stack != nil {
+		e.indexReuses.Add(1)
+		return stack, nil
+	}
+	ix, err := buildIndexCols(s, cols, 0, s.n, e.g)
+	if err != nil {
+		return nil, err
+	}
+	e.indexBuilds.Add(1)
+	return s.indexes.store(cols, []*hashIndex{ix}), nil
+}
+
 // semijoin returns r ⋉ s by probing a hash index of s on the shared
 // attributes.
 func (e *executor) semijoin(r, s *Relation) (*Relation, error) {
@@ -248,11 +278,46 @@ func (e *executor) semijoin(r, s *Relation) (*Relation, error) {
 		}
 		return NewRelation(r.Attrs...), nil
 	}
+	if s.indexes != nil {
+		stack, err := e.indexStack(s, shared)
+		if err != nil {
+			return nil, err
+		}
+		return e.semijoinStack(r, shared, stack)
+	}
 	ix, err := e.index(s, shared)
 	if err != nil {
 		return nil, err
 	}
 	return e.semijoinProbe(r, shared, ix)
+}
+
+// semijoinStack is semijoinProbe over a maintained layer stack: a
+// probe tuple survives when any layer holds its key. Single-layer
+// stacks (the common case) take the plain probe path.
+func (e *executor) semijoinStack(r *Relation, shared []string, stack []*hashIndex) (*Relation, error) {
+	if len(stack) == 1 {
+		return e.semijoinProbe(r, shared, stack[0])
+	}
+	e.semijoins.Add(1)
+	rIdx, err := r.attrIndex(shared)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(r.Attrs...)
+	for i := 0; i < r.Size(); i++ {
+		if err := e.g.poll(i); err != nil {
+			return nil, err
+		}
+		for _, ix := range stack {
+			if _, ok := ix.lookupRow(r, rIdx, i); ok {
+				out.appendFrom(r, i)
+				break
+			}
+		}
+	}
+	e.indexProbes.Add(int64(r.Size()))
+	return out, nil
 }
 
 // semijoinProbe filters r to the tuples whose key on shared hits ix (a
@@ -291,8 +356,18 @@ func (e *executor) join(r, s *Relation) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix, err := e.index(s, shared)
-	if err != nil {
+	// ix is the first (usually only) index layer; rest holds further
+	// maintained delta layers, in ascending row-range order, so the
+	// per-key match order equals a single full index's row order.
+	var ix *hashIndex
+	var rest []*hashIndex
+	if s.indexes != nil {
+		stack, serr := e.indexStack(s, shared)
+		if serr != nil {
+			return nil, serr
+		}
+		ix, rest = stack[0], stack[1:]
+	} else if ix, err = e.index(s, shared); err != nil {
 		return nil, err
 	}
 	outAttrs, sExtra := joinSchema(r, s, shared)
@@ -321,6 +396,16 @@ func (e *executor) join(r, s *Relation) (*Relation, error) {
 				if part.n-flushed >= pollEvery {
 					if err := flush(); err != nil {
 						return err
+					}
+				}
+			}
+			for _, ly := range rest {
+				for _, j := range ly.probeRow(r, rIdx, i) {
+					part.appendJoined(r, i, s, int(j), sExtra)
+					if part.n-flushed >= pollEvery {
+						if err := flush(); err != nil {
+							return err
+						}
 					}
 				}
 			}

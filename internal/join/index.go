@@ -15,9 +15,15 @@ package join
 // single biggest line item of the old kernel's allocation profile.
 
 // hashIndex is a build-once index of one relation on one column set.
+// An index may cover only a row range [lo, hi) of its relation: the
+// maintained-index layers of maintained.go index each insert delta as
+// its own range, and a stack of such layers over disjoint ascending
+// ranges probes in the same overall row order as one full index.
 type hashIndex struct {
 	r    *Relation
 	cols []int // key column positions in the indexed relation
+	// lo/hi bound the covered row range; perm holds absolute row ids.
+	lo, hi int
 	// slots is the open-addressing table: bucket id + 1, 0 = empty.
 	slots []int32
 	mask  uint64
@@ -60,16 +66,29 @@ func buildIndex(r *Relation, attrs []string, g *guard) (*hashIndex, error) {
 	if err != nil {
 		return nil, err
 	}
-	size := tableSize(r.n)
+	return buildIndexCols(r, cols, 0, r.n, g)
+}
+
+// buildIndexCols indexes rows [lo, hi) of r on column positions cols.
+// perm holds absolute row ids, so a layer stack over disjoint
+// ascending ranges enumerates matches in overall row order — the
+// property that keeps maintained indexes byte-identical to a single
+// full rebuild. A nil guard skips cancellation polling (maintenance
+// builds run under the dataset lock, not a query deadline).
+func buildIndexCols(r *Relation, cols []int, lo, hi int, g *guard) (*hashIndex, error) {
+	n := hi - lo
+	size := tableSize(n)
 	ix := &hashIndex{
 		r:     r,
 		cols:  cols,
+		lo:    lo,
+		hi:    hi,
 		slots: make([]int32, size),
 		mask:  uint64(size - 1),
 	}
-	rowBucket := make([]int32, r.n)
-	for i := 0; i < r.n; i++ {
-		if err := g.poll(i); err != nil {
+	rowBucket := make([]int32, n)
+	for i := lo; i < hi; i++ {
+		if err := g.poll(i - lo); err != nil {
 			return nil, err
 		}
 		j := hashRow(r, cols, i) & ix.mask
@@ -83,7 +102,7 @@ func buildIndex(r *Relation, attrs []string, g *guard) (*hashIndex, error) {
 				j = (j + 1) & ix.mask
 				continue
 			}
-			rowBucket[i] = b - 1
+			rowBucket[i-lo] = b - 1
 			break
 		}
 	}
@@ -95,10 +114,10 @@ func buildIndex(r *Relation, attrs []string, g *guard) (*hashIndex, error) {
 	for b := 0; b < len(ix.first); b++ {
 		ix.starts[b+1] += ix.starts[b]
 	}
-	ix.perm = make([]int32, r.n)
+	ix.perm = make([]int32, n)
 	cursor := append([]int32(nil), ix.starts[:len(ix.first)]...)
-	for i := 0; i < r.n; i++ {
-		b := rowBucket[i]
+	for i := lo; i < hi; i++ {
+		b := rowBucket[i-lo]
 		ix.perm[cursor[b]] = int32(i)
 		cursor[b]++
 	}
@@ -124,6 +143,53 @@ func (ix *hashIndex) lookupRow(s *Relation, sCols []int, row int) (int32, bool) 
 // order) whose key equals row `row` of s on sCols; nil when none.
 func (ix *hashIndex) probeRow(s *Relation, sCols []int, row int) []int32 {
 	b, ok := ix.lookupRow(s, sCols, row)
+	if !ok {
+		return nil
+	}
+	return ix.perm[ix.starts[b]:ix.starts[b+1]]
+}
+
+// hashVals hashes a materialised value tuple exactly like hashRow
+// hashes the same values read from a relation, so value probes and row
+// probes land in the same buckets.
+func hashVals(vals []int) uint64 {
+	h := uint64(len(vals))*0x94d049bb133111eb + 1
+	for _, v := range vals {
+		h = hashMix(h, uint64(v))
+	}
+	return h
+}
+
+// valsEqualOn reports whether row i of r equals vals on cols.
+func valsEqualOn(r *Relation, cols []int, i int, vals []int) bool {
+	for k, c := range cols {
+		if r.cols[c].at(i) != vals[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// lookupVals finds the bucket whose key equals the materialised tuple
+// vals — the mutation path's point lookup (delete-by-value, insert
+// dedup) against the always-maintained all-columns index.
+func (ix *hashIndex) lookupVals(vals []int) (int32, bool) {
+	j := hashVals(vals) & ix.mask
+	for {
+		b := ix.slots[j]
+		if b == 0 {
+			return 0, false
+		}
+		if valsEqualOn(ix.r, ix.cols, int(ix.first[b-1]), vals) {
+			return b - 1, true
+		}
+		j = (j + 1) & ix.mask
+	}
+}
+
+// probeVals returns the absolute row offsets whose key equals vals.
+func (ix *hashIndex) probeVals(vals []int) []int32 {
+	b, ok := ix.lookupVals(vals)
 	if !ok {
 		return nil
 	}

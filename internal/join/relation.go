@@ -28,6 +28,11 @@ type Relation struct {
 	cols []vec
 	n    int
 	mem  *arena
+	// indexes, when non-nil, marks a server-resident base relation
+	// (a dataset snapshot view) carrying maintained hash indexes the
+	// executor reuses instead of rebuilding per query (maintained.go).
+	// Ephemeral relations — every operator output — leave it nil.
+	indexes *IndexSet
 }
 
 // NewRelation returns an empty relation with the given attribute names.
@@ -112,13 +117,16 @@ func (r *Relation) alias() *Relation {
 
 // renamed returns a view of r's rows under new attribute names —
 // shared storage, fresh schema (atomRelation's column renaming).
+// Maintained indexes carry over: they are keyed by column position,
+// which renaming preserves.
 func (r *Relation) renamed(attrs []string) *Relation {
 	out := &Relation{
-		Attrs: attrs,
-		pos:   make(map[string]int, len(attrs)),
-		cols:  r.cols,
-		n:     r.n,
-		mem:   r.mem,
+		Attrs:   attrs,
+		pos:     make(map[string]int, len(attrs)),
+		cols:    r.cols,
+		n:       r.n,
+		mem:     r.mem,
+		indexes: r.indexes,
 	}
 	for i, a := range attrs {
 		out.pos[a] = i

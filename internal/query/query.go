@@ -19,9 +19,24 @@ var ErrNoPlan = errors.New("query: no decomposition within the width ceiling")
 
 // Request is one conjunctive query to answer.
 type Request struct {
-	// Query and DB are the CQ and the database it runs over (required).
+	// Query is the CQ to answer (required). It runs over exactly one of
+	// Dataset (a named server-resident database) or DB (inline).
 	Query join.Query
-	DB    join.Database
+	// Dataset names a registered dataset to run over; the query reads a
+	// consistent snapshot of it (current version, or AtVersion if set)
+	// whose relations carry delta-maintained indexes, so repeat queries
+	// skip parsing and index building entirely. Mutually exclusive with
+	// DB.
+	Dataset string
+	// AtVersion pins the query to a specific dataset version (0 =
+	// current). Requires Dataset; versions outside the retained window
+	// fail with a clear error rather than wrong rows.
+	AtVersion uint64
+	// DB is the inline compatibility path: a database shipped with the
+	// request itself. Prefer Dataset — inline databases are re-validated
+	// per request and any indexes built for them live only as long as
+	// the caller keeps the Database value alive.
+	DB join.Database
 	// MaxWidth is the decomposition width ceiling. 0 defaults to the
 	// number of atoms (a plan then always exists: hw ≤ |atoms|); values
 	// above the atom count are clamped to it.
@@ -80,6 +95,9 @@ type Result struct {
 	ExecElapsed time.Duration
 	// Parallelism is the executor worker cap the query ran with (≥ 1).
 	Parallelism int
+	// DatasetVersion is the dataset version the query actually read
+	// (the snapshot it resolved); 0 for inline-DB requests.
+	DatasetVersion uint64
 	// Exec reports the executor's per-query effort: indexes built,
 	// tuples probed, and how much of the work ran on spawned workers.
 	Exec join.ExecStats
@@ -87,20 +105,22 @@ type Result struct {
 
 // Stats is a snapshot of planner-wide counters.
 type Stats struct {
-	Queries       int64 // queries submitted to Eval
-	Answered      int64 // queries that returned a result
-	PlanCacheHits int64 // plans served from the store, zero solver runs
-	PlanCoalesced int64 // plans shared with a concurrent identical query
-	PlanFailures  int64 // planning errors (no plan in bound, solve errors)
-	ExecFailures  int64 // execution errors (row budget, cancellation)
-	TenantLimited int64 // queries rejected by the per-tenant admission wall
-	RowsReturned  int64 // total answer tuples across all row queries
-	AggQueries    int64 // answered aggregate (row-free) queries
-	AggGroups     int64 // total groups returned across aggregate queries
+	Queries        int64 // queries submitted to Eval
+	Answered       int64 // queries that returned a result
+	PlanCacheHits  int64 // plans served from the store, zero solver runs
+	PlanCoalesced  int64 // plans shared with a concurrent identical query
+	PlanFailures   int64 // planning errors (no plan in bound, solve errors)
+	ExecFailures   int64 // execution errors (row budget, cancellation)
+	TenantLimited  int64 // queries rejected by the per-tenant admission wall
+	RowsReturned   int64 // total answer tuples across all row queries
+	AggQueries     int64 // answered aggregate (row-free) queries
+	AggGroups      int64 // total groups returned across aggregate queries
+	DatasetQueries int64 // queries that ran over a named dataset snapshot
 
 	// Executor counters, aggregated over all answered queries.
 	ExecParallelQueries int64 // queries executed with Parallelism > 1
 	ExecIndexBuilds     int64 // hash indexes built
+	ExecIndexReuses     int64 // hash index builds skipped via maintained/captured indexes
 	ExecIndexProbes     int64 // tuples probed against an index
 	ExecParallelTasks   int64 // subtree/partition tasks run on spawned workers
 	ExecInlineTasks     int64 // tasks run inline on the scheduling worker
@@ -111,19 +131,21 @@ type Stats struct {
 type Planner struct {
 	svc *service.Service
 
-	queries       atomic.Int64
-	answered      atomic.Int64
-	planCacheHits atomic.Int64
-	planCoalesced atomic.Int64
-	planFailures  atomic.Int64
-	execFailures  atomic.Int64
-	tenantLimited atomic.Int64
-	rowsReturned  atomic.Int64
-	aggQueries    atomic.Int64
-	aggGroups     atomic.Int64
+	queries        atomic.Int64
+	answered       atomic.Int64
+	planCacheHits  atomic.Int64
+	planCoalesced  atomic.Int64
+	planFailures   atomic.Int64
+	execFailures   atomic.Int64
+	tenantLimited  atomic.Int64
+	rowsReturned   atomic.Int64
+	aggQueries     atomic.Int64
+	aggGroups      atomic.Int64
+	datasetQueries atomic.Int64
 
 	execParallelQueries atomic.Int64
 	execIndexBuilds     atomic.Int64
+	execIndexReuses     atomic.Int64
 	execIndexProbes     atomic.Int64
 	execParallelTasks   atomic.Int64
 	execInlineTasks     atomic.Int64
@@ -162,6 +184,25 @@ func (p *Planner) Eval(ctx context.Context, req Request) (Result, error) {
 
 // eval is Eval past the tenant wall.
 func (p *Planner) eval(ctx context.Context, req Request) (Result, error) {
+	var dsVersion uint64
+	if req.Dataset != "" {
+		// Resolve the named dataset to an immutable snapshot. The
+		// snapshot is pinned for the whole query: mutations committed
+		// after this point advance the dataset without touching the
+		// rows (or maintained indexes) this query reads.
+		snap, err := p.svc.Datasets().Resolve(req.Tenant, req.Dataset, req.AtVersion)
+		if err != nil {
+			p.planFailures.Add(1)
+			return Result{}, fmt.Errorf("query: dataset %q: %w", req.Dataset, err)
+		}
+		req.DB = snap.DB
+		dsVersion = snap.Version
+		p.datasetQueries.Add(1)
+		if err := checkAtoms(req.Query, req.DB); err != nil {
+			p.planFailures.Add(1)
+			return Result{}, err
+		}
+	}
 	h, err := req.Query.Hypergraph()
 	if err != nil {
 		p.planFailures.Add(1)
@@ -244,6 +285,7 @@ func (p *Planner) eval(ctx context.Context, req Request) (Result, error) {
 		p.execParallelQueries.Add(1)
 	}
 	p.execIndexBuilds.Add(exec.IndexBuilds)
+	p.execIndexReuses.Add(exec.IndexReuses)
 	p.execIndexProbes.Add(exec.IndexProbes)
 	p.execParallelTasks.Add(exec.ParallelTasks)
 	p.execInlineTasks.Add(exec.InlineTasks)
@@ -256,14 +298,15 @@ func (p *Planner) eval(ctx context.Context, req Request) (Result, error) {
 		p.aggQueries.Add(1)
 		p.aggGroups.Add(int64(len(agg.Groups)))
 		return Result{
-			Agg:           &agg,
-			Width:         res.Decomp.Width(),
-			PlanCacheHit:  res.CacheHit,
-			PlanCoalesced: res.Coalesced,
-			PlanElapsed:   planElapsed,
-			ExecElapsed:   time.Since(execStart),
-			Parallelism:   par,
-			Exec:          exec,
+			Agg:            &agg,
+			Width:          res.Decomp.Width(),
+			PlanCacheHit:   res.CacheHit,
+			PlanCoalesced:  res.Coalesced,
+			PlanElapsed:    planElapsed,
+			ExecElapsed:    time.Since(execStart),
+			Parallelism:    par,
+			DatasetVersion: dsVersion,
+			Exec:           exec,
 		}, nil
 	}
 	rows, err := Canonical(rel)
@@ -274,20 +317,22 @@ func (p *Planner) eval(ctx context.Context, req Request) (Result, error) {
 	p.answered.Add(1)
 	p.rowsReturned.Add(int64(rows.Size()))
 	return Result{
-		Rows:          rows,
-		Width:         res.Decomp.Width(),
-		PlanCacheHit:  res.CacheHit,
-		PlanCoalesced: res.Coalesced,
-		PlanElapsed:   planElapsed,
-		ExecElapsed:   time.Since(execStart),
-		Parallelism:   par,
-		Exec:          exec,
+		Rows:           rows,
+		Width:          res.Decomp.Width(),
+		PlanCacheHit:   res.CacheHit,
+		PlanCoalesced:  res.Coalesced,
+		PlanElapsed:    planElapsed,
+		ExecElapsed:    time.Since(execStart),
+		Parallelism:    par,
+		DatasetVersion: dsVersion,
+		Exec:           exec,
 	}, nil
 }
 
-// validate rejects malformed requests before any planning effort: every
-// atom's relation must exist with a matching arity, so a typo fails in
-// microseconds instead of after a decomposition run.
+// validate rejects malformed requests before any planning effort —
+// cheap shape checks, so a typo fails in microseconds instead of after
+// a decomposition run. Inline databases are checked here; a named
+// dataset's snapshot is checked in eval, after resolution.
 func validate(req Request) error {
 	if len(req.Query.Atoms) == 0 {
 		return errors.New("query: empty query")
@@ -298,19 +343,37 @@ func validate(req Request) error {
 	if req.Parallelism < 0 {
 		return errors.New("query: Parallelism must be >= 0")
 	}
-	for i, a := range req.Query.Atoms {
-		rel, ok := req.DB[a.Relation]
+	if req.Dataset != "" {
+		if req.DB != nil {
+			return errors.New("query: set exactly one of Dataset or DB, not both")
+		}
+	} else {
+		if req.AtVersion != 0 {
+			return errors.New("query: AtVersion requires Dataset")
+		}
+		if err := checkAtoms(req.Query, req.DB); err != nil {
+			return err
+		}
+	}
+	if req.Aggregate != nil {
+		if err := req.Aggregate.Validate(req.Query); err != nil {
+			return fmt.Errorf("query: %w", err)
+		}
+	}
+	return nil
+}
+
+// checkAtoms verifies every atom's relation exists in db with a
+// matching arity.
+func checkAtoms(q join.Query, db join.Database) error {
+	for i, a := range q.Atoms {
+		rel, ok := db[a.Relation]
 		if !ok {
 			return fmt.Errorf("query: atom %d: relation %q not in database", i, a.Relation)
 		}
 		if len(rel.Attrs) != len(a.Vars) {
 			return fmt.Errorf("query: atom %d: %s has %d vars but relation has %d columns",
 				i, a.Relation, len(a.Vars), len(rel.Attrs))
-		}
-	}
-	if req.Aggregate != nil {
-		if err := req.Aggregate.Validate(req.Query); err != nil {
-			return fmt.Errorf("query: %w", err)
 		}
 	}
 	return nil
@@ -345,8 +408,10 @@ func (p *Planner) Stats() Stats {
 		RowsReturned:        p.rowsReturned.Load(),
 		AggQueries:          p.aggQueries.Load(),
 		AggGroups:           p.aggGroups.Load(),
+		DatasetQueries:      p.datasetQueries.Load(),
 		ExecParallelQueries: p.execParallelQueries.Load(),
 		ExecIndexBuilds:     p.execIndexBuilds.Load(),
+		ExecIndexReuses:     p.execIndexReuses.Load(),
 		ExecIndexProbes:     p.execIndexProbes.Load(),
 		ExecParallelTasks:   p.execParallelTasks.Load(),
 		ExecInlineTasks:     p.execInlineTasks.Load(),

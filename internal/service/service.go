@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/decomp"
 	"repro/internal/hypergraph"
 	"repro/internal/logk"
@@ -94,6 +95,10 @@ type Config struct {
 	// tenant.Config knobs (rate, burst, in-flight, queue, fair-share)
 	// to turn individual gates on.
 	Tenants tenant.Config
+	// Datasets sizes the named-dataset registry (server-resident
+	// versioned databases with delta-maintained indexes). The zero
+	// value picks the dataset package's defaults.
+	Datasets dataset.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -260,12 +265,13 @@ type Stats struct {
 // Service is a concurrent decomposition service. Create one with New,
 // share it freely between goroutines, and Close it when done.
 type Service struct {
-	cfg     Config
-	budget  *TokenBudget
-	store   store.Backend
-	flight  *store.Flight
-	tenants *tenant.Wall
-	slots   chan struct{}
+	cfg      Config
+	budget   *TokenBudget
+	store    store.Backend
+	flight   *store.Flight
+	tenants  *tenant.Wall
+	datasets *dataset.Registry
+	slots    chan struct{}
 
 	// ownsStore marks a backend Open built itself (not injected via
 	// Config.Store): Close closes it, flushing the disk tier.
@@ -312,12 +318,13 @@ func New(cfg Config) *Service {
 		})
 	}
 	s := &Service{
-		cfg:     cfg,
-		budget:  NewTokenBudget(cfg.TokenBudget),
-		store:   cfg.Store,
-		flight:  store.NewFlight(),
-		tenants: tenant.NewWall(cfg.Tenants),
-		slots:   make(chan struct{}, cfg.MaxConcurrent),
+		cfg:      cfg,
+		budget:   NewTokenBudget(cfg.TokenBudget),
+		store:    cfg.Store,
+		flight:   store.NewFlight(),
+		tenants:  tenant.NewWall(cfg.Tenants),
+		datasets: dataset.NewRegistry(cfg.Datasets),
+		slots:    make(chan struct{}, cfg.MaxConcurrent),
 	}
 	s.agg.cancelledByWidth = make(map[int]int64)
 	return s
@@ -364,6 +371,11 @@ func (s *Service) Store() store.Backend { return s.store }
 // (the query planner admits a whole query through it as one lease) and
 // for stats.
 func (s *Service) Tenants() *tenant.Wall { return s.tenants }
+
+// Datasets exposes the named-dataset registry: server-resident,
+// versioned databases with delta-maintained indexes, plus the
+// single-flight parse cache for inline databases.
+func (s *Service) Datasets() *dataset.Registry { return s.datasets }
 
 // Config returns the effective configuration, with defaults resolved.
 func (s *Service) Config() Config { return s.cfg }

@@ -3,7 +3,9 @@
 #
 # Boots a real htdserve with the tenant wall armed, drives it with a
 # greedy tenant at 10x its rate limit next to a polite tenant well
-# inside its budget, and asserts isolation:
+# inside its budget — the polite tenant mixing dataset mutations into
+# its traffic (writepct), so the wall is exercised by the write path
+# too — and asserts isolation:
 #
 #   (a) the polite tenant's p99 and error rate stay within bounds even
 #       while the greedy tenant is being rejected wholesale, and
@@ -28,6 +30,10 @@ URL="http://$ADDR"
 TENANT_RATE=40
 GREEDY_QPS=400
 POLITE_QPS=10
+# A fifth of the polite tenant's requests are NDJSON mutation batches
+# against its own uploaded dataset — writes go through the same
+# admission wall and must stay inside the same latency bounds.
+POLITE_WRITEPCT=20
 DURATION="${LOAD_GATE_DURATION:-10s}"
 
 # Bounds: tiny conjunctive queries answer in single-digit milliseconds
@@ -54,13 +60,13 @@ echo "load_gate: starting htdserve on $ADDR (tenant rate $TENANT_RATE/s, fair-sh
   >/dev/null 2>&1 &
 SRV_PID=$!
 
-echo "load_gate: driving greedy:${GREEDY_QPS}qps(hotkey) + polite:${POLITE_QPS}qps(uniform) for $DURATION"
+echo "load_gate: driving greedy:${GREEDY_QPS}qps(hotkey) + polite:${POLITE_QPS}qps(uniform, ${POLITE_WRITEPCT}% writes) for $DURATION"
 "$BIN/loadgen" \
   -url "$URL" \
   -wait 15s \
   -duration "$DURATION" \
   -tenant "greedy:$GREEDY_QPS:hotkey" \
-  -tenant "polite:$POLITE_QPS:uniform" \
+  -tenant "polite:$POLITE_QPS:uniform:$POLITE_WRITEPCT" \
   -out "$OUT" \
   -gate-tenant polite \
   -gate-p99-ms "$POLITE_P99_MS" \
@@ -75,4 +81,12 @@ if [ -z "$GREEDY_REJECTED" ] || [ "$GREEDY_REJECTED" -eq 0 ]; then
   echo "load_gate: FAIL: greedy tenant saw no rejections (wall not engaged)" >&2
   exit 1
 fi
-echo "load_gate: PASS (greedy rejected $GREEDY_REJECTED times, report in $OUT)"
+# And prove the write mix actually ran: the polite tenant must have
+# sent mutation batches (its "writes" counter), otherwise the wall was
+# never exercised by the write path.
+POLITE_WRITES=$(sed -n 's/^[[:space:]]*"writes": \([0-9]*\),*$/\1/p' "$OUT" | head -1)
+if [ -z "$POLITE_WRITES" ] || [ "$POLITE_WRITES" -eq 0 ]; then
+  echo "load_gate: FAIL: polite tenant sent no dataset mutations (write path not exercised)" >&2
+  exit 1
+fi
+echo "load_gate: PASS (greedy rejected $GREEDY_REJECTED times, polite sent $POLITE_WRITES writes, report in $OUT)"
